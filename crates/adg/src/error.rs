@@ -1,0 +1,118 @@
+//! Error type for ADG construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{EdgeId, NodeId};
+
+/// Errors produced while building or validating an architecture description
+/// graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdgError {
+    /// A bit width was zero, not a power of two, or too large.
+    InvalidBitWidth(u16),
+    /// An operation referenced a node id that is not in the graph.
+    UnknownNode(NodeId),
+    /// An operation referenced an edge id that is not in the graph.
+    UnknownEdge(EdgeId),
+    /// An edge's width exceeds the datapath width of one of its endpoints.
+    EdgeWiderThanEndpoint {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The endpoint whose datapath is too narrow.
+        node: NodeId,
+    },
+    /// A value connection flows from a statically-scheduled element into a
+    /// dynamically-scheduled element without an intervening synchronization
+    /// element (§III-B).
+    StaticFeedsDynamic {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A memory's output is wired directly into a statically-scheduled
+    /// element instead of a synchronization element (§III-A: sync elements
+    /// are "the interface between dynamically scheduled elements (e.g.
+    /// memory…) and static elements").
+    MemoryFeedsStatic {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// The graph has no control core, or more than one.
+    ControlCount(usize),
+    /// A component has a structurally impossible parameter (e.g. a shared PE
+    /// with zero instruction slots).
+    BadParameter {
+        /// The offending node.
+        node: NodeId,
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+    /// The control core cannot reach every configurable component, so no
+    /// configuration path can cover the graph (§VI).
+    Unconfigurable {
+        /// A component unreachable from the control core.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for AdgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdgError::InvalidBitWidth(bits) => {
+                write!(f, "invalid bit width {bits}: must be a power of two in 1..=4096")
+            }
+            AdgError::UnknownNode(id) => write!(f, "unknown node {id}"),
+            AdgError::UnknownEdge(id) => write!(f, "unknown edge {id}"),
+            AdgError::EdgeWiderThanEndpoint { edge, node } => {
+                write!(f, "edge {edge} is wider than the datapath of node {node}")
+            }
+            AdgError::StaticFeedsDynamic { edge } => write!(
+                f,
+                "edge {edge} routes a static-scheduled output into a dynamic-scheduled input without a synchronization element"
+            ),
+            AdgError::MemoryFeedsStatic { edge } => write!(
+                f,
+                "edge {edge} wires a memory directly into a static-scheduled element; memories must feed synchronization elements"
+            ),
+            AdgError::ControlCount(n) => {
+                write!(f, "graph must contain exactly one control core, found {n}")
+            }
+            AdgError::BadParameter { node, what } => {
+                write!(f, "node {node} has an invalid parameter: {what}")
+            }
+            AdgError::Unconfigurable { node } => write!(
+                f,
+                "node {node} is unreachable from the control core; no configuration path can cover it"
+            ),
+        }
+    }
+}
+
+impl Error for AdgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_nonempty() {
+        let errs = [
+            AdgError::InvalidBitWidth(3),
+            AdgError::UnknownNode(NodeId::from_index(1)),
+            AdgError::ControlCount(0),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AdgError>();
+    }
+}

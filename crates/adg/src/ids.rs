@@ -1,0 +1,80 @@
+//! Typed identifiers for ADG nodes and edges.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node (hardware component) in an [`Adg`](crate::Adg).
+///
+/// Node ids are stable across removals: deleting a node never renumbers the
+/// others, which is what lets the design-space explorer's *schedule repair*
+/// keep the untouched parts of a schedule valid (§V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The raw index value.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a node id from a raw index.
+    ///
+    /// Intended for deserialization and test fixtures; an id that does not
+    /// name a live node in a particular graph is simply not found by the
+    /// accessors.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of an edge (point-to-point connection) in an [`Adg`](crate::Adg).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl EdgeId {
+    /// The raw index value.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs an edge id from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        let e = EdgeId::from_index(7);
+        assert_eq!(e.index(), 7);
+    }
+
+    #[test]
+    fn display_distinguishes_nodes_and_edges() {
+        assert_eq!(NodeId::from_index(3).to_string(), "n3");
+        assert_eq!(EdgeId::from_index(3).to_string(), "e3");
+    }
+}

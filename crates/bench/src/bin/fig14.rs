@@ -1,0 +1,82 @@
+//! Figure 14 — Automated Design Space Exploration.
+//!
+//! Three DSE runs from the same initial hardware (the 5×4 full-capability
+//! mesh): MachSuite, DenseNN, and SparseCNN. Reports the evolution of
+//! area (left bar in the paper), power (right bar), and objective (color
+//! intensity) per iteration, and the headline numbers: mean 42% area
+//! saved and mean 12× objective improvement over the initial hardware.
+//!
+//! Run with: `cargo run --release -p dsagen-bench --bin fig14`
+
+use dsagen_adg::presets;
+use dsagen_bench::rule;
+use dsagen_dse::{explore, DseConfig, DseResult};
+use dsagen_workloads::{suite_kernels, Suite};
+
+fn run(name: &str, kernels: &[dsagen_dfg::Kernel], seed: u64) -> DseResult {
+    let cfg = DseConfig {
+        seed,
+        max_iters: 120,
+        patience: 50,
+        sched_iters: 200,
+        max_unroll: 4,
+        ..DseConfig::default()
+    };
+    println!("\n== DSE run: {name} ({} kernels) ==", kernels.len());
+    let result = explore(presets::dse_initial(), kernels, cfg);
+    println!(
+        "{:>5} {:>11} {:>11} {:>12} {:>9}",
+        "iter", "area(mm^2)", "power(mW)", "objective", "accepted"
+    );
+    rule(56);
+    for rec in result.trace.iter().step_by(10) {
+        println!(
+            "{:>5} {:>11.3} {:>11.1} {:>12.3} {:>9}",
+            rec.iter, rec.area_mm2, rec.power_mw, rec.objective, rec.accepted
+        );
+    }
+    let last = result.trace.last().expect("nonempty trace");
+    println!(
+        "{:>5} {:>11.3} {:>11.1} {:>12.3} {:>9}",
+        last.iter, last.area_mm2, last.power_mw, last.objective, last.accepted
+    );
+    println!(
+        "area: {:.3} -> {:.3} mm^2 ({:+.0}%), power: {:.0} -> {:.0} mW, objective: {:.3} -> {:.3} ({:.1}x)",
+        result.initial.cost.area_mm2,
+        result.best.cost.area_mm2,
+        -100.0 * result.area_saving(),
+        result.initial.cost.power_mw,
+        result.best.cost.power_mw,
+        result.initial.objective,
+        result.best.objective,
+        result.objective_gain()
+    );
+    result
+}
+
+fn main() {
+    println!("FIGURE 14: Automated Design Space Exploration (3 runs from the 5x4 full mesh)");
+
+    let machsuite: Vec<_> = suite_kernels(Suite::MachSuite)
+        .into_iter()
+        .filter(|k| ["md", "spmv-crs", "stencil-2d", "mm"].contains(&k.name.as_str()))
+        .collect();
+    let dense = suite_kernels(Suite::DenseNN);
+    let sparse = suite_kernels(Suite::SparseCNN);
+
+    let r1 = run("MachSuite", &machsuite, 0xD5E1);
+    let r2 = run("DenseNN", &dense, 0xD5E2);
+    let r3 = run("SparseCNN", &sparse, 0xD5E3);
+
+    rule(72);
+    let savings = [r1.area_saving(), r2.area_saving(), r3.area_saving()];
+    let gains = [r1.objective_gain(), r2.objective_gain(), r3.objective_gain()];
+    println!(
+        "mean area saving: {:.0}%   (paper: mean 42%)",
+        100.0 * savings.iter().sum::<f64>() / 3.0
+    );
+    println!(
+        "mean objective gain: {:.1}x (paper: mean 12x)",
+        gains.iter().sum::<f64>() / 3.0
+    );
+}

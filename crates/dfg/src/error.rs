@@ -1,0 +1,58 @@
+//! Error type for kernel construction and compilation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or compiling kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DfgError {
+    /// A kernel or region is structurally invalid.
+    Malformed {
+        /// The kernel or region name.
+        region: String,
+        /// What is wrong.
+        what: String,
+    },
+    /// A transformation was requested that the target hardware cannot
+    /// support and for which no fallback exists.
+    UnsupportedTransform {
+        /// The transformation name.
+        transform: &'static str,
+        /// The missing hardware feature.
+        missing: &'static str,
+    },
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::Malformed { region, what } => {
+                write!(f, "malformed kernel/region '{region}': {what}")
+            }
+            DfgError::UnsupportedTransform { transform, missing } => {
+                write!(
+                    f,
+                    "transformation '{transform}' requires hardware feature '{missing}'"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_meaningful() {
+        let e = DfgError::Malformed {
+            region: "body".into(),
+            what: "no loops".into(),
+        };
+        assert!(e.to_string().contains("body"));
+        assert!(e.to_string().contains("no loops"));
+    }
+}

@@ -1,0 +1,714 @@
+//! Functional (value-level) interpreter for source kernels.
+//!
+//! Executes a [`Kernel`] exactly per the IR's semantics — loop nests,
+//! affine/indirect accesses, reductions, predicated selects, merge joins,
+//! in-place updates, and producer-consumer yields — over real data. The
+//! timing simulator (`dsagen-sim`) answers *how fast*; this answers *what*,
+//! and is used to validate that every evaluation workload computes what its
+//! reference implementation computes.
+//!
+//! Statement firing semantics: a statement executes once per complete
+//! iteration of the loops its index (and value) actually varies over — a
+//! store indexed by `(i, j)` under an inner `k` reduction fires once per
+//! `(i, j)`, reading the completed accumulation. [`SrcExpr::Consume`]
+//! values are indexed by the consumer's outermost loop variable.
+//!
+//! # Example
+//!
+//! ```
+//! use dsagen_adg::{BitWidth, Opcode};
+//! use dsagen_dfg::{interp, AffineExpr, KernelBuilder, MemClass, TripCount};
+//! use std::collections::BTreeMap;
+//!
+//! // acc += a[i] * b[i]
+//! let mut k = KernelBuilder::new("dot");
+//! let a = k.array("a", BitWidth::B64, 4, MemClass::MainMemory);
+//! let b = k.array("b", BitWidth::B64, 4, MemClass::MainMemory);
+//! let c = k.array("c", BitWidth::B64, 1, MemClass::MainMemory);
+//! let mut r = k.region("body", 1.0);
+//! let i = r.for_loop(TripCount::fixed(4), true);
+//! let va = r.load(a, AffineExpr::var(i));
+//! let vb = r.load(b, AffineExpr::var(i));
+//! let p = r.bin(Opcode::FMul, va, vb);
+//! let acc = r.reduce(Opcode::FAdd, p, i);
+//! r.store(c, AffineExpr::constant(0), acc);
+//! k.finish_region(r);
+//! let kernel = k.build()?;
+//!
+//! let mut inputs = BTreeMap::new();
+//! inputs.insert("a".to_string(), vec![1.0, 2.0, 3.0, 4.0]);
+//! inputs.insert("b".to_string(), vec![10.0, 20.0, 30.0, 40.0]);
+//! let out = interp::execute(&kernel, &inputs)?;
+//! assert_eq!(out["c"][0], 300.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use dsagen_adg::Opcode;
+
+use crate::{
+    ArrayId, ExprId, Index, Kernel, LoopKind, LoopVar, Region, SrcExpr, SrcStmt,
+};
+
+/// A functional-execution failure.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// An access evaluated outside its array's declared bounds.
+    OutOfBounds {
+        /// Array name.
+        array: String,
+        /// Evaluated index.
+        index: i64,
+        /// Declared length.
+        len: u64,
+    },
+    /// A load inside a join loop referenced an array on neither side.
+    JoinSideUnknown {
+        /// Array name.
+        array: String,
+    },
+    /// A consume ran out of yielded values.
+    ConsumeUnderflow {
+        /// Producing region index.
+        region: usize,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::OutOfBounds { array, index, len } => {
+                write!(f, "access to '{array}[{index}]' outside length {len}")
+            }
+            ExecError::JoinSideUnknown { array } => {
+                write!(f, "array '{array}' is indexed by the join variable but belongs to neither side")
+            }
+            ExecError::ConsumeUnderflow { region } => {
+                write!(f, "consume exhausted the yields of region {region}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Executes `kernel` over `inputs` (arrays by declared name; missing arrays
+/// start zeroed) and returns the final contents of every array.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses, unknown join sides, or
+/// consume/yield mismatches — all of which indicate a malformed kernel, so
+/// this doubles as a semantic validator.
+pub fn execute(
+    kernel: &Kernel,
+    inputs: &BTreeMap<String, Vec<f64>>,
+) -> Result<BTreeMap<String, Vec<f64>>, ExecError> {
+    let mut mem: Vec<Vec<f64>> = kernel
+        .arrays
+        .iter()
+        .map(|decl| {
+            let mut v = inputs.get(&decl.name).cloned().unwrap_or_default();
+            v.resize(decl.len as usize, 0.0);
+            v
+        })
+        .collect();
+    let mut yields: Vec<Vec<Vec<f64>>> = Vec::with_capacity(kernel.regions.len());
+
+    for region in &kernel.regions {
+        let n_yields = region
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, SrcStmt::Yield { .. }))
+            .count();
+        let mut my_yields = vec![Vec::new(); n_yields];
+        let mut exec = RegionExec {
+            kernel,
+            region,
+            mem: &mut mem,
+            yields: &yields,
+            my_yields: &mut my_yields,
+            acc: BTreeMap::new(),
+            join: None,
+        };
+        exec.run()?;
+        yields.push(my_yields);
+    }
+
+    Ok(kernel
+        .arrays
+        .iter()
+        .zip(mem)
+        .map(|(decl, data)| (decl.name.clone(), data))
+        .collect())
+}
+
+/// Join-loop pointer state during one region execution.
+struct JoinState {
+    depth: usize,
+    i0: i64,
+    i1: i64,
+}
+
+struct RegionExec<'a> {
+    kernel: &'a Kernel,
+    region: &'a Region,
+    mem: &'a mut Vec<Vec<f64>>,
+    yields: &'a [Vec<Vec<f64>>],
+    my_yields: &'a mut Vec<Vec<f64>>,
+    /// Running accumulator per Reduce expression.
+    acc: BTreeMap<usize, f64>,
+    join: Option<JoinState>,
+}
+
+impl RegionExec<'_> {
+    fn run(&mut self) -> Result<(), ExecError> {
+        let depth = self.region.depth();
+        self.walk(0, &mut vec![0i64; depth])
+    }
+
+    /// Recursively walks loop levels; at the innermost level evaluates the
+    /// body and fires the statements whose rate boundary completes.
+    fn walk(&mut self, level: usize, idx: &mut Vec<i64>) -> Result<(), ExecError> {
+        if level == self.region.depth() {
+            return self.body(idx);
+        }
+        // Entering loop `level`'s block: reducers over exactly this level
+        // start a fresh accumulation.
+        self.reset_accumulators(level);
+        match self.region.loops[level].kind.clone() {
+            LoopKind::For { trip } => {
+                let outer = if level == 0 { 0 } else { idx[level - 1] };
+                let count = trip.at(outer);
+                for i in 0..count as i64 {
+                    idx[level] = i;
+                    self.walk(level + 1, idx)?;
+                }
+                // Zero-trip loops still need deeper statements skipped —
+                // nothing to do, by construction.
+                Ok(())
+            }
+            LoopKind::Join { a, b, .. } => {
+                // Two-pointer sorted merge (§IV-E, Fig 8a).
+                let ka = self.array_data(a.key)?.to_vec();
+                let kb = self.array_data(b.key)?.to_vec();
+                self.join = Some(JoinState {
+                    depth: level,
+                    i0: 0,
+                    i1: 0,
+                });
+                let (la, lb) = (a.len.min(ka.len() as u64), b.len.min(kb.len() as u64));
+                loop {
+                    let js = self.join.as_ref().expect("join state set above");
+                    let (i0, i1) = (js.i0, js.i1);
+                    if i0 >= la as i64 || i1 >= lb as i64 {
+                        break;
+                    }
+                    let (k0, k1) = (ka[i0 as usize], kb[i1 as usize]);
+                    if k0 == k1 {
+                        // Match: the body computes, both pointers advance.
+                        idx[level] = i0;
+                        self.walk(level + 1, idx)?;
+                        let js = self.join.as_mut().expect("set");
+                        js.i0 += 1;
+                        js.i1 += 1;
+                    } else if k0 < k1 {
+                        self.join.as_mut().expect("set").i0 += 1;
+                    } else {
+                        self.join.as_mut().expect("set").i1 += 1;
+                    }
+                }
+                self.join = None;
+                // Join regions fire their post-loop statements once.
+                Ok(())
+            }
+        }
+    }
+
+    /// Resets accumulators reducing over exactly `level` — called once when
+    /// that loop's block begins (deeper reducers reset when their own loop
+    /// block begins).
+    fn reset_accumulators(&mut self, level: usize) {
+        let ids: Vec<usize> = self
+            .region
+            .iter_exprs()
+            .filter_map(|(id, e)| match e {
+                SrcExpr::Reduce { level: l, .. } if l.0 == level => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        for id in ids {
+            self.acc.remove(&id);
+        }
+    }
+
+    /// Evaluates the DAG once at the current index tuple, accumulates
+    /// reductions, and fires boundary statements.
+    fn body(&mut self, idx: &[i64]) -> Result<(), ExecError> {
+        // Accumulate every reduction this iteration.
+        let reduce_ids: Vec<(usize, Opcode, ExprId)> = self
+            .region
+            .iter_exprs()
+            .filter_map(|(id, e)| match e {
+                SrcExpr::Reduce { op, body, .. } => Some((id.0, *op, *body)),
+                _ => None,
+            })
+            .collect();
+        for (id, op, body) in reduce_ids {
+            let v = self.eval(body, idx)?;
+            let cur = self.acc.get(&id).copied();
+            let next = match cur {
+                None => v,
+                Some(c) => match op {
+                    Opcode::Add | Opcode::FAdd => c + v,
+                    Opcode::Mul | Opcode::FMul => c * v,
+                    Opcode::Min | Opcode::FMin => c.min(v),
+                    Opcode::Max | Opcode::FMax => c.max(v),
+                    other => other.eval_scalar(&match other.arity() {
+                        2 => vec![c, v],
+                        _ => vec![c],
+                    }),
+                },
+            };
+            self.acc.insert(id, next);
+        }
+
+        // Fire statements whose rate boundary completes here. All values
+        // and addresses are evaluated against the *pre-iteration* memory
+        // state (streams are hoisted; a store in this firing is not
+        // visible to this firing's loads), then the writes land together.
+        let stmts = self.region.stmts.clone();
+        let mut writes: Vec<(usize, usize, f64)> = Vec::new();
+        let mut yield_cursor = 0usize;
+        for stmt in &stmts {
+            let stmt_level = self.stmt_level(stmt);
+            let fires = self.deeper_loops_complete(stmt_level, idx);
+            match stmt {
+                SrcStmt::Store { array, index, value } => {
+                    if fires {
+                        let v = self.eval(*value, idx)?;
+                        let at = self.resolve(*array, index, idx)?;
+                        writes.push((array.0, at, v));
+                    }
+                }
+                SrcStmt::Update { array, index, op, value } => {
+                    if fires {
+                        let v = self.eval(*value, idx)?;
+                        let at = self.resolve(*array, index, idx)?;
+                        let old = self.mem[array.0][at];
+                        let new = match op {
+                            Opcode::Add | Opcode::FAdd => old + v,
+                            Opcode::Sub | Opcode::FSub => old - v,
+                            other => other.eval_scalar(&[old, v]),
+                        };
+                        writes.push((array.0, at, new));
+                    }
+                }
+                SrcStmt::Yield { value } => {
+                    if fires {
+                        let v = self.eval(*value, idx)?;
+                        self.my_yields[yield_cursor].push(v);
+                    }
+                    yield_cursor += 1;
+                }
+            }
+        }
+        for (array, at, v) in writes {
+            self.mem[array][at] = v;
+        }
+        Ok(())
+    }
+
+    /// The deepest loop a statement's effect varies over.
+    fn stmt_level(&self, stmt: &SrcStmt) -> usize {
+        let expr_level = |id: ExprId| self.region.rate_level(id).map_or(0, |v| v.0);
+        match stmt {
+            SrcStmt::Store { index, value, .. } | SrcStmt::Update { index, value, .. } => {
+                let idx_level = index
+                    .driving_expr()
+                    .innermost_var()
+                    .map_or(0, |v| v.0);
+                idx_level.max(expr_level(*value))
+            }
+            SrcStmt::Yield { value } => expr_level(*value),
+        }
+    }
+
+    /// Whether every loop deeper than `level` is at its final iteration —
+    /// the statement's rate boundary.
+    fn deeper_loops_complete(&self, level: usize, idx: &[i64]) -> bool {
+        for d in (level + 1)..self.region.depth() {
+            match &self.region.loops[d].kind {
+                LoopKind::For { trip } => {
+                    let outer = if d == 0 { 0 } else { idx[d - 1] };
+                    if idx[d] + 1 < trip.at(outer) as i64 {
+                        return false;
+                    }
+                }
+                // A join loop at a deeper level: its statements fire per
+                // match; treat any iteration as boundary.
+                LoopKind::Join { .. } => {}
+            }
+        }
+        true
+    }
+
+    fn array_data(&self, id: ArrayId) -> Result<&[f64], ExecError> {
+        Ok(&self.mem[id.0])
+    }
+
+    /// Resolves an index to a bounds-checked element offset.
+    fn resolve(&self, array: ArrayId, index: &Index, idx: &[i64]) -> Result<usize, ExecError> {
+        let decl = self.kernel.array(array);
+        let at = match index {
+            Index::Affine(e) => self.join_aware_eval(array, e, idx)?,
+            Index::Indirect {
+                index_array,
+                index_expr,
+            } => {
+                let pos = self.join_aware_eval(*index_array, index_expr, idx)?;
+                let inner = self.kernel.array(*index_array);
+                let pos_checked = check(pos, inner.len, &inner.name)?;
+                self.mem[index_array.0][pos_checked] as i64
+            }
+        };
+        check(at, decl.len, &decl.name)
+    }
+
+    /// Evaluates an affine index, substituting join pointers for the join
+    /// variable based on which side `array` belongs to.
+    fn join_aware_eval(
+        &self,
+        array: ArrayId,
+        e: &crate::AffineExpr,
+        idx: &[i64],
+    ) -> Result<i64, ExecError> {
+        let Some(js) = &self.join else {
+            return Ok(e.eval(idx));
+        };
+        let jvar = LoopVar(js.depth);
+        if e.stride_of(jvar) == 0 {
+            return Ok(e.eval(idx));
+        }
+        // Which side does the array belong to?
+        let Some((_, LoopKind::Join { a, b, .. })) = self.region.join_loop() else {
+            return Ok(e.eval(idx));
+        };
+        let ptr = if a.key == array || a.payloads.contains(&array) {
+            js.i0
+        } else if b.key == array || b.payloads.contains(&array) {
+            js.i1
+        } else {
+            return Err(ExecError::JoinSideUnknown {
+                array: self.kernel.array(array).name.clone(),
+            });
+        };
+        let mut vals = idx.to_vec();
+        vals[js.depth] = ptr;
+        Ok(e.eval(&vals))
+    }
+
+    fn eval(&mut self, id: ExprId, idx: &[i64]) -> Result<f64, ExecError> {
+        match self.region.expr(id).clone() {
+            SrcExpr::Load { array, index } => {
+                let at = self.resolve(array, &index, idx)?;
+                Ok(self.mem[array.0][at])
+            }
+            SrcExpr::Imm(v) => Ok(v as f64),
+            SrcExpr::Un { op, a } => {
+                let x = self.eval(a, idx)?;
+                Ok(op.eval_scalar(&[x]))
+            }
+            SrcExpr::Bin { op, a, b } => {
+                let x = self.eval(a, idx)?;
+                let y = self.eval(b, idx)?;
+                Ok(op.eval_scalar(&[x, y]))
+            }
+            SrcExpr::Mux { cond, t, f } => {
+                let c = self.eval(cond, idx)?;
+                if c != 0.0 {
+                    self.eval(t, idx)
+                } else {
+                    self.eval(f, idx)
+                }
+            }
+            SrcExpr::Reduce { .. } => Ok(self.acc.get(&id.0).copied().unwrap_or(0.0)),
+            SrcExpr::Consume { region, yield_idx } => {
+                let k = idx.first().copied().unwrap_or(0) as usize;
+                self.yields
+                    .get(region)
+                    .and_then(|r| r.get(yield_idx))
+                    .and_then(|vals| vals.get(k))
+                    .copied()
+                    .ok_or(ExecError::ConsumeUnderflow { region })
+            }
+        }
+    }
+}
+
+fn check(at: i64, len: u64, name: &str) -> Result<usize, ExecError> {
+    if at < 0 || at as u64 >= len {
+        return Err(ExecError::OutOfBounds {
+            array: name.to_string(),
+            index: at,
+            len,
+        });
+    }
+    Ok(at as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{BitWidth, Opcode};
+
+    use super::*;
+    use crate::{AffineExpr, JoinSide, KernelBuilder, MemClass, TripCount};
+
+    fn run(kernel: &Kernel, inputs: &[(&str, Vec<f64>)]) -> BTreeMap<String, Vec<f64>> {
+        let map: BTreeMap<String, Vec<f64>> = inputs
+            .iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect();
+        execute(kernel, &map).expect("executes")
+    }
+
+    #[test]
+    fn axpy_semantics() {
+        let mut k = KernelBuilder::new("axpy");
+        let a = k.array("a", BitWidth::B64, 4, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 4, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(4), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let two = r.imm(2);
+        let m = r.bin(Opcode::FMul, va, two);
+        let s = r.bin(Opcode::FAdd, m, vb);
+        r.store(b, AffineExpr::var(i), s);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = run(
+            &kernel,
+            &[("a", vec![1.0, 2.0, 3.0, 4.0]), ("b", vec![10.0; 4])],
+        );
+        assert_eq!(out["b"], vec![12.0, 14.0, 16.0, 18.0]);
+    }
+
+    #[test]
+    fn nested_reduction_fires_store_at_outer_rate() {
+        // c[i] = Σ_j a[i*3 + j]
+        let mut k = KernelBuilder::new("rowsum");
+        let a = k.array("a", BitWidth::B64, 6, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 2, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(2), false);
+        let j = r.for_loop(TripCount::fixed(3), false);
+        let v = r.load(a, AffineExpr::var(i).scaled(3).plus(&AffineExpr::var(j)));
+        let s = r.reduce(Opcode::FAdd, v, j);
+        r.store(c, AffineExpr::var(i), s);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = run(&kernel, &[("a", vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0])]);
+        assert_eq!(out["c"], vec![6.0, 60.0]);
+    }
+
+    #[test]
+    fn mux_predication() {
+        // b[i] = a[i] < 3 ? a[i] : 0
+        let mut k = KernelBuilder::new("clip");
+        let a = k.array("a", BitWidth::B64, 4, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 4, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(4), true);
+        let v = r.load(a, AffineExpr::var(i));
+        let three = r.imm(3);
+        let zero = r.imm(0);
+        let c = r.bin(Opcode::CmpLt, v, three);
+        let sel = r.mux(c, v, zero);
+        r.store(b, AffineExpr::var(i), sel);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = run(&kernel, &[("a", vec![1.0, 5.0, 2.0, 9.0])]);
+        assert_eq!(out["b"], vec![1.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn indirect_histogram() {
+        let mut k = KernelBuilder::new("hist");
+        let h = k.array("h", BitWidth::B64, 4, MemClass::Scratchpad);
+        let s = k.array("s", BitWidth::B64, 6, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(6), true);
+        let one = r.imm(1);
+        r.update_indirect(h, s, AffineExpr::var(i), Opcode::Add, one);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = run(&kernel, &[("s", vec![0.0, 1.0, 1.0, 3.0, 3.0, 3.0])]);
+        assert_eq!(out["h"], vec![1.0, 2.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn sorted_merge_join() {
+        // Matched keys: 2, 5 → Σ v0*v1 at matches.
+        let mut k = KernelBuilder::new("join");
+        let k0 = k.array("k0", BitWidth::B64, 4, MemClass::MainMemory);
+        let v0 = k.array("v0", BitWidth::B64, 4, MemClass::MainMemory);
+        let k1 = k.array("k1", BitWidth::B64, 4, MemClass::MainMemory);
+        let v1 = k.array("v1", BitWidth::B64, 4, MemClass::MainMemory);
+        let out = k.array("out", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("merge", 1.0);
+        let j = r.join_loop(
+            JoinSide { key: k0, payloads: vec![v0], len: 4 },
+            JoinSide { key: k1, payloads: vec![v1], len: 4 },
+            0.5,
+        );
+        let a = r.load(v0, AffineExpr::var(j));
+        let b = r.load(v1, AffineExpr::var(j));
+        let p = r.bin(Opcode::FMul, a, b);
+        let acc = r.reduce(Opcode::FAdd, p, j);
+        r.store(out, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let result = run(
+            &kernel,
+            &[
+                ("k0", vec![1.0, 2.0, 5.0, 7.0]),
+                ("v0", vec![10.0, 20.0, 30.0, 40.0]),
+                ("k1", vec![2.0, 3.0, 5.0, 9.0]),
+                ("v1", vec![1.0, 2.0, 3.0, 4.0]),
+            ],
+        );
+        // matches: key 2 → 20*1; key 5 → 30*3 → total 110.
+        assert_eq!(result["out"], vec![110.0]);
+    }
+
+    #[test]
+    fn producer_consumer_yields() {
+        // Region 0 yields Σ_j a[i*2+j] per i; region 1 stores v*10 per i.
+        let mut k = KernelBuilder::new("pc");
+        let a = k.array("a", BitWidth::B64, 4, MemClass::MainMemory);
+        let d = k.array("d", BitWidth::B64, 2, MemClass::MainMemory);
+        let mut r0 = k.region("produce", 1.0);
+        let i0 = r0.for_loop(TripCount::fixed(2), false);
+        let j0 = r0.for_loop(TripCount::fixed(2), false);
+        let v = r0.load(a, AffineExpr::var(i0).scaled(2).plus(&AffineExpr::var(j0)));
+        let s = r0.reduce(Opcode::FAdd, v, j0);
+        r0.yield_value(s);
+        let r0i = k.finish_region(r0);
+        let mut r1 = k.region("consume", 1.0);
+        let i1 = r1.for_loop(TripCount::fixed(2), false);
+        let c = r1.consume(r0i, 0);
+        let ten = r1.imm(10);
+        let m = r1.bin(Opcode::FMul, c, ten);
+        r1.store(d, AffineExpr::var(i1), m);
+        k.finish_region(r1);
+        let kernel = k.build().unwrap();
+        let out = run(&kernel, &[("a", vec![1.0, 2.0, 3.0, 4.0])]);
+        assert_eq!(out["d"], vec![30.0, 70.0]);
+    }
+
+    #[test]
+    fn inductive_triangular_loops() {
+        // For i in 0..3: for j in 0..(3-i): t[i] += 1 → t = [3,2,1]
+        let mut k = KernelBuilder::new("tri");
+        let t = k.array("t", BitWidth::B64, 3, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(3), false);
+        let j = r.for_loop(TripCount::inductive(3, -1), false);
+        let one = r.imm(1);
+        let red = r.reduce(Opcode::FAdd, one, j);
+        r.store(t, AffineExpr::var(i), red);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = run(&kernel, &[]);
+        assert_eq!(out["t"], vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn consume_underflow_is_reported() {
+        // Region 1 consumes more values than region 0 yields.
+        let mut k = KernelBuilder::new("under");
+        let a = k.array("a", BitWidth::B64, 4, MemClass::MainMemory);
+        let mut r0 = k.region("produce", 1.0);
+        let i0 = r0.for_loop(TripCount::fixed(1), false);
+        let v = r0.load(a, AffineExpr::var(i0));
+        r0.yield_value(v);
+        let r0i = k.finish_region(r0);
+        let mut r1 = k.region("consume", 1.0);
+        let i1 = r1.for_loop(TripCount::fixed(4), false);
+        let c = r1.consume(r0i, 0);
+        r1.store(a, AffineExpr::var(i1), c);
+        k.finish_region(r1);
+        let kernel = k.build().unwrap();
+        let e = execute(&kernel, &BTreeMap::new()).expect_err("must underflow");
+        assert!(matches!(e, ExecError::ConsumeUnderflow { region: 0 }));
+    }
+
+    #[test]
+    fn zero_trip_inductive_loop_is_skipped() {
+        // for i in 0..2: for j in 0..(1-i): t[i] += 1 → t = [1, 0, 9]
+        let mut k = KernelBuilder::new("zero");
+        let t = k.array("t", BitWidth::B64, 3, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(2), false);
+        let j = r.for_loop(TripCount::inductive(1, -1), false);
+        let one = r.imm(1);
+        let red = r.reduce(Opcode::FAdd, one, j);
+        r.store(t, AffineExpr::var(i), red);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = execute(
+            &kernel,
+            &BTreeMap::from([(String::from("t"), vec![9.0, 9.0, 9.0])]),
+        )
+        .unwrap();
+        // i=0 stores 1; i=1's inner loop is zero-trip so nothing fires.
+        assert_eq!(out["t"], vec![1.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn update_statement_rates() {
+        // c[j] += a[i]*b[j] over i in 0..2, j in 0..3 (Fig 7b shape).
+        let mut k = KernelBuilder::new("repupd");
+        let a = k.array("a", BitWidth::B64, 2, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 3, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 3, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(2), false);
+        let j = r.for_loop(TripCount::fixed(3), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(j));
+        let p = r.bin(Opcode::FMul, va, vb);
+        r.update(c, AffineExpr::var(j), Opcode::FAdd, p);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let out = execute(
+            &kernel,
+            &BTreeMap::from([
+                (String::from("a"), vec![2.0, 10.0]),
+                (String::from("b"), vec![1.0, 2.0, 3.0]),
+            ]),
+        )
+        .unwrap();
+        // c[j] = (2+10)*b[j]
+        assert_eq!(out["c"], vec![12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported() {
+        let mut k = KernelBuilder::new("oob");
+        let a = k.array("a", BitWidth::B64, 2, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(4), true);
+        let v = r.load(a, AffineExpr::var(i));
+        r.store(a, AffineExpr::var(i), v);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let e = execute(&kernel, &BTreeMap::new()).expect_err("must detect OOB");
+        assert!(matches!(e, ExecError::OutOfBounds { .. }));
+    }
+}

@@ -1,0 +1,508 @@
+//! The iterative codesign loop (§V).
+
+use std::collections::HashMap;
+
+use dsagen_adg::{Adg, FeatureSet, OpSet};
+use dsagen_dfg::{compile_kernel, enumerate_configs, CompiledKernel, Kernel};
+use dsagen_hwgen::generate_config_paths;
+use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
+use dsagen_scheduler::{repair, schedule, Schedule, SchedulerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::mutate::mutate;
+
+/// Explorer tunables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Maximum exploration steps.
+    pub max_iters: u32,
+    /// Steps without improvement before exit (the paper uses 750, §VIII-B;
+    /// scale down for quick runs).
+    pub patience: u32,
+    /// Scheduling iterations per repair/initialization (200 in the paper).
+    pub sched_iters: u32,
+    /// Area budget in mm² (step 2a: mutations must not exceed it).
+    pub area_budget_mm2: f64,
+    /// Power budget in mW.
+    pub power_budget_mw: f64,
+    /// Maximum vectorization degree enumerated per kernel.
+    pub max_unroll: u16,
+    /// Use schedule *repair* across steps (true) or re-map every schedule
+    /// from scratch (false) — the Fig 11 comparison.
+    pub use_repair: bool,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        DseConfig {
+            seed: 0xD5E,
+            max_iters: 150,
+            patience: 60,
+            sched_iters: 200,
+            area_budget_mm2: 5.0,
+            power_budget_mw: 2000.0,
+            max_unroll: 8,
+            use_repair: true,
+        }
+    }
+}
+
+/// One point of the exploration trace (drives Fig 11 and Fig 14).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterRecord {
+    /// Step number (0 = initial evaluation).
+    pub iter: u32,
+    /// Estimated area of the *current accepted* design.
+    pub area_mm2: f64,
+    /// Estimated power.
+    pub power_mw: f64,
+    /// Objective perf²/mm².
+    pub objective: f64,
+    /// Aggregate performance (geomean IPC across kernels).
+    pub perf: f64,
+    /// Whether this step's mutation was accepted.
+    pub accepted: bool,
+}
+
+/// Final result of an exploration run.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// The best design found.
+    pub best_adg: Adg,
+    /// Its evaluation.
+    pub best: DsePoint,
+    /// The initial design's evaluation.
+    pub initial: DsePoint,
+    /// Full per-step trace.
+    pub trace: Vec<IterRecord>,
+}
+
+impl DseResult {
+    /// Area saved versus the initial hardware (the paper reports a mean of
+    /// 42%, §VIII).
+    #[must_use]
+    pub fn area_saving(&self) -> f64 {
+        1.0 - self.best.cost.area_mm2 / self.initial.cost.area_mm2.max(1e-12)
+    }
+
+    /// Objective improvement factor over the initial hardware (mean 12×
+    /// in the paper).
+    #[must_use]
+    pub fn objective_gain(&self) -> f64 {
+        self.best.objective / self.initial.objective.max(1e-12)
+    }
+}
+
+/// Evaluation of one candidate design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DsePoint {
+    /// perf² / mm².
+    pub objective: f64,
+    /// Geomean IPC across kernels (best legal version each).
+    pub perf: f64,
+    /// Area/power estimate from the regression model.
+    pub cost: HwCost,
+    /// Chosen version and IPC per kernel (`None` when no version mapped).
+    pub per_kernel: Vec<Option<(usize, f64)>>,
+}
+
+/// The design-space explorer: owns the evolving ADG, the compiled kernel
+/// versions, and the persistent schedules being repaired.
+#[derive(Debug)]
+pub struct Explorer {
+    cfg: DseConfig,
+    adg: Adg,
+    versions: Vec<Vec<CompiledKernel>>,
+    schedules: HashMap<(usize, usize), Schedule>,
+    rng: StdRng,
+    area_model: AreaPowerModel,
+    perf_model: PerfModel,
+    used_ops: OpSet,
+}
+
+impl Explorer {
+    /// Compiles every kernel into its candidate versions (against a
+    /// maximal feature set, so versions survive hardware mutations) and
+    /// prepares the explorer.
+    #[must_use]
+    pub fn new(adg: Adg, kernels: &[Kernel], cfg: DseConfig) -> Self {
+        let mut max_features = adg.features();
+        max_features.indirect_memory = true;
+        max_features.atomic_update = true;
+        max_features.banked_memory = true;
+        max_features.stream_join_pes = max_features.stream_join_pes.max(8);
+        max_features.op_union = OpSet::all();
+
+        let mut versions = Vec::with_capacity(kernels.len());
+        let mut used_ops = OpSet::new();
+        for kernel in kernels {
+            let mut vs = Vec::new();
+            for config in enumerate_configs(kernel, &max_features, cfg.max_unroll) {
+                if let Ok(ck) = compile_kernel(kernel, &config, &max_features) {
+                    used_ops = used_ops.union(ck.requires.ops);
+                    vs.push(ck);
+                }
+            }
+            versions.push(vs);
+        }
+
+        Explorer {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            cfg,
+            adg,
+            versions,
+            schedules: HashMap::new(),
+            area_model: AreaPowerModel::default(),
+            perf_model: PerfModel::default(),
+            used_ops,
+        }
+    }
+
+    /// The current (accepted) design.
+    #[must_use]
+    pub fn adg(&self) -> &Adg {
+        &self.adg
+    }
+
+    /// Evaluates the current design: schedules every satisfiable version
+    /// of every kernel (repairing previous schedules where enabled), picks
+    /// the best legal version per kernel by modeled performance, and
+    /// computes perf²/mm² (§V steps 2b–2d).
+    pub fn evaluate(&mut self) -> DsePoint {
+        let features = self.adg.features();
+        let cost = self.area_model.estimate_adg(&self.adg);
+        let config_len = generate_config_paths(&self.adg, 4, self.cfg.seed).longest() as u32;
+
+        let sched_cfg = SchedulerConfig {
+            max_iters: self.cfg.sched_iters,
+            seed: self.cfg.seed ^ 0x5EED,
+            ..SchedulerConfig::default()
+        };
+
+        let mut per_kernel = Vec::with_capacity(self.versions.len());
+        let mut log_perf_sum = 0.0;
+        let mut any_unmapped = false;
+        for (ki, versions) in self.versions.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            for (vi, version) in versions.iter().enumerate() {
+                if !version.requires.satisfied_by(&features) {
+                    continue;
+                }
+                let key = (ki, vi);
+                let result = if self.cfg.use_repair {
+                    match self.schedules.remove(&key) {
+                        Some(prev) => repair(&self.adg, version, prev, &sched_cfg),
+                        None => schedule(&self.adg, version, &sched_cfg),
+                    }
+                } else {
+                    schedule(&self.adg, version, &sched_cfg)
+                };
+                if result.is_legal() {
+                    let est = self.perf_model.estimate(
+                        &self.adg,
+                        version,
+                        &result.schedule,
+                        &result.eval,
+                        config_len,
+                    );
+                    let perf = est.perf();
+                    if best.is_none_or(|(_, p)| perf > p) {
+                        best = Some((vi, perf));
+                    }
+                }
+                self.schedules.insert(key, result.schedule);
+            }
+            match best {
+                Some((_, perf)) => log_perf_sum += perf.max(1e-9).ln(),
+                None => any_unmapped = true,
+            }
+            per_kernel.push(best);
+        }
+
+        let n = self.versions.len().max(1) as f64;
+        let perf = if any_unmapped {
+            1e-6 // unmappable kernels make the design essentially worthless
+        } else {
+            (log_perf_sum / n).exp()
+        };
+        let obj = if cost.area_mm2 > self.cfg.area_budget_mm2
+            || cost.power_mw > self.cfg.power_budget_mw
+        {
+            0.0 // over budget: never accepted
+        } else {
+            objective(perf, cost.area_mm2)
+        };
+        DsePoint {
+            objective: obj,
+            perf,
+            cost,
+            per_kernel,
+        }
+    }
+
+    /// Deterministic opening trim (the paper's iteration 2: "the redundant
+    /// features, including known unneeded functional units … are removed",
+    /// §VIII-B): shrink every PE's opcode set to the union the compiled
+    /// kernel versions can ever use. Pure area/power win; performance is
+    /// untouched because no needed FU disappears.
+    fn trim_redundant_features(&mut self) {
+        let used = self.used_ops;
+        // Does any compiled version operate on sub-word data? If not, FU
+        // and switch decomposability is pure overhead.
+        let needs_subword = self.versions.iter().flatten().any(|v| {
+            v.regions.iter().any(|r| {
+                r.in_streams
+                    .iter()
+                    .chain(&r.out_streams)
+                    .any(|s| s.elem_bytes < 8)
+            })
+        });
+        let pes: Vec<_> = self.adg.pes().collect();
+        for id in pes {
+            if let Some(node) = self.adg.node_mut(id) {
+                if let dsagen_adg::NodeKind::Pe(pe) = &mut node.kind {
+                    let trimmed = pe.ops.intersection(used);
+                    if !trimmed.is_empty() {
+                        pe.ops = trimmed;
+                    }
+                    if !needs_subword {
+                        pe.decomposable = false;
+                    }
+                }
+            }
+        }
+        if !needs_subword {
+            let switches: Vec<_> = self.adg.switches().collect();
+            for id in switches {
+                if let Some(node) = self.adg.node_mut(id) {
+                    if let dsagen_adg::NodeKind::Switch(sw) = &mut node.kind {
+                        sw.decompose_to = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs the full exploration loop. Starts from the current ADG,
+    /// mutates, evaluates with repaired schedules, accepts improvements,
+    /// reverts regressions (§V step 2e), and stops after `patience` steps
+    /// without improvement or `max_iters` total.
+    pub fn run(&mut self) -> DseResult {
+        let initial = self.evaluate();
+        let mut trace = vec![IterRecord {
+            iter: 0,
+            area_mm2: initial.cost.area_mm2,
+            power_mw: initial.cost.power_mw,
+            objective: initial.objective,
+            perf: initial.perf,
+            accepted: true,
+        }];
+        // Opening trim, then re-evaluate: this is the loop's baseline.
+        self.trim_redundant_features();
+        let trimmed = self.evaluate();
+        let mut best = if trimmed.objective >= initial.objective {
+            trimmed
+        } else {
+            initial.clone()
+        };
+        trace.push(IterRecord {
+            iter: 0,
+            area_mm2: best.cost.area_mm2,
+            power_mw: best.cost.power_mw,
+            objective: best.objective,
+            perf: best.perf,
+            accepted: true,
+        });
+        let mut best_adg = self.adg.clone();
+        let mut best_schedules = self.schedules.clone();
+        let mut stale = 0u32;
+
+        for iter in 1..=self.cfg.max_iters {
+            // Mutate (redraw until something applies, bounded).
+            let backup_adg = self.adg.clone();
+            let backup_scheds = self.schedules.clone();
+            let mut mutated = false;
+            for _ in 0..12 {
+                if mutate(&mut self.adg, &mut self.rng, &self.used_ops).is_some() {
+                    mutated = true;
+                    break;
+                }
+            }
+            if !mutated {
+                stale += 1;
+                continue;
+            }
+
+            let point = self.evaluate();
+            let accepted = point.objective > best.objective;
+            if accepted {
+                best = point.clone();
+                best_adg = self.adg.clone();
+                best_schedules = self.schedules.clone();
+                stale = 0;
+            } else {
+                self.adg = backup_adg;
+                self.schedules = backup_scheds;
+                stale += 1;
+            }
+            trace.push(IterRecord {
+                iter,
+                area_mm2: best.cost.area_mm2,
+                power_mw: best.cost.power_mw,
+                objective: best.objective,
+                perf: best.perf,
+                accepted,
+            });
+            if stale >= self.cfg.patience {
+                break;
+            }
+        }
+
+        self.adg = best_adg.clone();
+        self.schedules = best_schedules;
+        DseResult {
+            best_adg,
+            best,
+            initial,
+            trace,
+        }
+    }
+}
+
+/// Convenience: explore `kernels` starting from `initial`.
+pub fn explore(initial: Adg, kernels: &[Kernel], cfg: DseConfig) -> DseResult {
+    Explorer::new(initial, kernels, cfg).run()
+}
+
+/// Reports which features a maximal compile would use — handy for tests.
+#[must_use]
+pub fn max_feature_set(adg: &Adg) -> FeatureSet {
+    let mut f = adg.features();
+    f.indirect_memory = true;
+    f.atomic_update = true;
+    f.op_union = OpSet::all();
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, Opcode};
+    use dsagen_dfg::{AffineExpr, KernelBuilder, MemClass, TripCount};
+
+    use super::*;
+
+    fn small_kernels() -> Vec<Kernel> {
+        let mut out = Vec::new();
+        // axpy
+        let mut k = KernelBuilder::new("axpy");
+        let a = k.array("a", BitWidth::B64, 256, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 256, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(256), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let two = r.imm(2);
+        let m = r.bin(Opcode::Mul, va, two);
+        let s = r.bin(Opcode::Add, m, vb);
+        r.store(b, AffineExpr::var(i), s);
+        k.finish_region(r);
+        out.push(k.build().unwrap());
+        // dot
+        let mut k = KernelBuilder::new("dot");
+        let a = k.array("a", BitWidth::B64, 256, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 256, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(256), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let p = r.bin(Opcode::Mul, va, vb);
+        let acc = r.reduce(Opcode::Add, p, i);
+        r.store(c, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        out.push(k.build().unwrap());
+        out
+    }
+
+    fn quick_cfg() -> DseConfig {
+        DseConfig {
+            max_iters: 20,
+            patience: 20,
+            sched_iters: 40,
+            max_unroll: 4,
+            ..DseConfig::default()
+        }
+    }
+
+    #[test]
+    fn initial_evaluation_is_feasible() {
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let p = ex.evaluate();
+        assert!(p.objective > 0.0, "point: {p:?}");
+        assert!(p.per_kernel.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn exploration_never_regresses_best() {
+        let result = explore(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let mut prev = 0.0;
+        for rec in &result.trace {
+            assert!(rec.objective + 1e-12 >= prev, "objective regressed");
+            prev = rec.objective;
+        }
+        assert!(result.best.objective >= result.initial.objective);
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let a = explore(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let b = explore(presets::dse_initial(), &small_kernels(), quick_cfg());
+        assert_eq!(a.best.objective, b.best.objective);
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn budget_zero_rejects_everything() {
+        let cfg = DseConfig {
+            area_budget_mm2: 0.0,
+            ..quick_cfg()
+        };
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), cfg);
+        let p = ex.evaluate();
+        assert_eq!(p.objective, 0.0);
+    }
+
+    #[test]
+    fn opening_trim_strips_decomposability_for_wide_kernels() {
+        // All test kernels are 64-bit, so FU/switch decomposability is a
+        // redundant feature the opening trim must remove.
+        let cfg = DseConfig {
+            max_iters: 2,
+            patience: 2,
+            sched_iters: 30,
+            max_unroll: 2,
+            ..DseConfig::default()
+        };
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), cfg);
+        assert!(presets::dse_initial().features().decomposable);
+        let _ = ex.run();
+        assert!(
+            !ex.adg().features().decomposable,
+            "trim should strip decomposability"
+        );
+    }
+
+    #[test]
+    fn repair_mode_tracks_schedules_across_steps() {
+        let cfg = DseConfig {
+            max_iters: 6,
+            ..quick_cfg()
+        };
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), cfg);
+        let _ = ex.run();
+        assert!(!ex.schedules.is_empty());
+    }
+}

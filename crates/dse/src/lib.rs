@@ -1,0 +1,33 @@
+//! Automated design-space exploration for DSAGEN (§V).
+//!
+//! The explorer performs hardware/software codesign by iterative graph
+//! search: starting from an initial ADG, each step randomly adds/removes/
+//! re-parameterizes components (within an area/power budget), re-schedules
+//! every kernel version with the §V-A *repairing scheduler* (instead of
+//! re-mapping from scratch), estimates performance with the §V-B model and
+//! area/power with the §V-C regression model, and keeps the change only if
+//! the `perf²/mm²` objective improves.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dsagen_adg::presets;
+//! use dsagen_dse::{explore, DseConfig};
+//!
+//! let kernels = vec![/* built with dsagen_dfg::KernelBuilder */];
+//! let result = explore(presets::dse_initial(), &kernels, DseConfig::default());
+//! println!(
+//!     "saved {:.0}% area, {:.1}x objective",
+//!     100.0 * result.area_saving(),
+//!     result.objective_gain()
+//! );
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod explorer;
+mod mutate;
+
+pub use explorer::{explore, max_feature_set, DseConfig, DsePoint, DseResult, Explorer, IterRecord};
+pub use mutate::{mutate, Mutation};

@@ -1,0 +1,435 @@
+//! Bitstream encoding (§VI "Bitstream Encoding").
+//!
+//! Each component has local configuration registers: a switch's bitstream
+//! encodes routing, a PE's encodes instruction opcodes, execution timing
+//! (static PEs), and instruction tags (shared PEs); a sync element's
+//! encodes delay/grouping. This module encodes a [`Schedule`] into 64-bit
+//! configuration words addressed to components, and decodes them back
+//! (roundtrip-tested).
+
+use std::collections::BTreeMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dsagen_adg::{NodeId, NodeKind, Opcode};
+use dsagen_scheduler::{EntityKind, Problem, Schedule};
+
+/// One PE instruction-slot configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstrConfig {
+    /// Opcode discriminant.
+    pub opcode: u8,
+    /// Input-port index at the PE for each operand (0xFF = unrouted /
+    /// constant operand).
+    pub operands: [u8; 3],
+    /// Static-PE execution timing filler (delay before fire).
+    pub delay: u8,
+    /// Instruction tag (shared PEs).
+    pub tag: u8,
+}
+
+/// One switch route configuration: input port → output port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouteConfig {
+    /// Input port index at the switch.
+    pub in_port: u8,
+    /// Output port index at the switch.
+    pub out_port: u8,
+}
+
+/// One sync-element configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncConfig {
+    /// Vector lanes grouped by the ready logic.
+    pub lanes: u8,
+    /// FIFO fire-delay cycles.
+    pub delay: u16,
+    /// Port-group id (region × port), for coordinated firing.
+    pub group: u8,
+}
+
+/// Decoded configuration of one component.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeConfig {
+    /// PE instruction slots.
+    pub instrs: Vec<InstrConfig>,
+    /// Switch routes.
+    pub routes: Vec<RouteConfig>,
+    /// Sync configuration.
+    pub sync: Option<SyncConfig>,
+}
+
+/// A complete bitstream: per-component configuration words.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitstream {
+    /// Configuration per node, in node-id order.
+    pub configs: BTreeMap<NodeId, NodeConfig>,
+}
+
+const KIND_PE: u64 = 1;
+const KIND_SWITCH: u64 = 2;
+const KIND_SYNC: u64 = 3;
+
+impl Bitstream {
+    /// Encodes a schedule into per-component configuration, programming
+    /// each static-PE instruction's balancing delay from the schedule's
+    /// operand-arrival spread (§VI: a PE's bitstream encodes "execution
+    /// timing (for static PEs only)").
+    #[must_use]
+    pub fn encode_with_timing(
+        problem: &Problem<'_>,
+        schedule: &Schedule,
+        eval: &dsagen_scheduler::Evaluation,
+    ) -> Bitstream {
+        let mut bs = Bitstream::encode(problem, schedule);
+        // Walk op entities again in the same order encode() did, so the
+        // i-th instruction of each node lines up with its config slot.
+        let mut slot_cursor: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for (i, entity) in problem.entities.iter().enumerate() {
+            let Some(node) = schedule.placement[i] else {
+                continue;
+            };
+            if !matches!(entity.kind, EntityKind::Op { .. }) {
+                continue;
+            }
+            let slot = *slot_cursor
+                .entry(node)
+                .and_modify(|s| *s += 1)
+                .or_insert(0);
+            let is_static = matches!(
+                problem.adg.kind(node),
+                Ok(NodeKind::Pe(pe)) if pe.scheduling == dsagen_adg::Scheduling::Static
+            );
+            if !is_static {
+                continue;
+            }
+            let delay = eval
+                .operand_spread
+                .get(i)
+                .copied()
+                .unwrap_or(0.0)
+                .clamp(0.0, 255.0) as u8;
+            if let Some(cfg) = bs.configs.get_mut(&node) {
+                if let Some(instr) = cfg.instrs.get_mut(slot) {
+                    instr.delay = delay;
+                }
+            }
+        }
+        bs
+    }
+
+    /// Encodes a schedule into per-component configuration.
+    #[must_use]
+    pub fn encode(problem: &Problem<'_>, schedule: &Schedule) -> Bitstream {
+        let adg = problem.adg;
+        let mut configs: BTreeMap<NodeId, NodeConfig> = BTreeMap::new();
+
+        // PE instructions.
+        for (i, entity) in problem.entities.iter().enumerate() {
+            let Some(node) = schedule.placement[i] else {
+                continue;
+            };
+            match entity.kind {
+                EntityKind::Op { .. } => {
+                    let mut operands = [0xFFu8; 3];
+                    for (ei, vedge) in problem.edges.iter().enumerate() {
+                        if vedge.dst != i || vedge.operand >= 3 {
+                            continue;
+                        }
+                        if let Some(path) = schedule.routes.get(&ei) {
+                            if let Some(last) = path.last() {
+                                if let Some(port) = adg.input_port_of(*last) {
+                                    operands[vedge.operand] = port.min(254) as u8;
+                                }
+                            }
+                        }
+                    }
+                    let opcode = entity.opcode.map_or(0u8, |oc| oc as u8);
+                    let tag = configs
+                        .get(&node)
+                        .map_or(0, |c| c.instrs.len().min(255)) as u8;
+                    configs.entry(node).or_default().instrs.push(InstrConfig {
+                        opcode,
+                        operands,
+                        delay: 0,
+                        tag,
+                    });
+                }
+                EntityKind::InPort { region, port } | EntityKind::OutPort { region, port } => {
+                    let lanes = entity.lanes.min(255) as u8;
+                    let group = ((region * 16 + port) % 256) as u8;
+                    let delay = match adg.kind(node) {
+                        Ok(NodeKind::Sync(sy)) => sy.depth.min(4096),
+                        _ => 0,
+                    };
+                    configs.entry(node).or_default().sync = Some(SyncConfig {
+                        lanes,
+                        delay,
+                        group,
+                    });
+                }
+            }
+        }
+
+        // Switch routes: walk every routed path and record in→out port
+        // mappings at each intermediate node.
+        for path in schedule.routes.values() {
+            for pair in path.windows(2) {
+                let (e_in, e_out) = (pair[0], pair[1]);
+                let Some(edge_in) = adg.edge(e_in) else { continue };
+                let node = edge_in.dst;
+                if !matches!(adg.kind(node), Ok(NodeKind::Switch(_))) {
+                    continue;
+                }
+                let (Some(ip), Some(op)) =
+                    (adg.input_port_of(e_in), adg.output_port_of(e_out))
+                else {
+                    continue;
+                };
+                let rc = RouteConfig {
+                    in_port: ip.min(254) as u8,
+                    out_port: op.min(254) as u8,
+                };
+                let cfg = configs.entry(node).or_default();
+                if !cfg.routes.contains(&rc) {
+                    cfg.routes.push(rc);
+                }
+            }
+        }
+        Bitstream { configs }
+    }
+
+    /// Serializes into 64-bit words: a header word per component followed
+    /// by its payload words. The header carries the destination id so
+    /// "the component can identify relevant configuration data to keep and
+    /// non-relevant data to forward" (§VI).
+    #[must_use]
+    pub fn to_words(&self) -> Vec<u64> {
+        let mut words = Vec::new();
+        for (node, cfg) in &self.configs {
+            let payload = cfg.instrs.len() + cfg.routes.len() + usize::from(cfg.sync.is_some());
+            let kind = if !cfg.instrs.is_empty() {
+                KIND_PE
+            } else if !cfg.routes.is_empty() {
+                KIND_SWITCH
+            } else {
+                KIND_SYNC
+            };
+            words.push(
+                ((node.index() as u64) << 48) | (kind << 45) | ((payload as u64 & 0xFF) << 37),
+            );
+            for i in &cfg.instrs {
+                words.push(
+                    (u64::from(i.opcode) << 56)
+                        | (u64::from(i.operands[0]) << 48)
+                        | (u64::from(i.operands[1]) << 40)
+                        | (u64::from(i.operands[2]) << 32)
+                        | (u64::from(i.delay) << 24)
+                        | (u64::from(i.tag) << 16)
+                        | 0x1,
+                );
+            }
+            for r in &cfg.routes {
+                words.push((u64::from(r.in_port) << 56) | (u64::from(r.out_port) << 48) | 0x2);
+            }
+            if let Some(s) = cfg.sync {
+                words.push(
+                    (u64::from(s.lanes) << 56)
+                        | (u64::from(s.delay) << 40)
+                        | (u64::from(s.group) << 32)
+                        | 0x3,
+                );
+            }
+        }
+        words
+    }
+
+    /// Parses words back into per-component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed word.
+    pub fn from_words(words: &[u64]) -> Result<Bitstream, String> {
+        let mut configs: BTreeMap<NodeId, NodeConfig> = BTreeMap::new();
+        let mut i = 0usize;
+        while i < words.len() {
+            let header = words[i];
+            i += 1;
+            let node = NodeId::from_index((header >> 48) as usize);
+            let payload = ((header >> 37) & 0xFF) as usize;
+            if i + payload > words.len() {
+                return Err(format!("truncated payload for node {node}"));
+            }
+            let cfg = configs.entry(node).or_default();
+            for w in &words[i..i + payload] {
+                match w & 0xF {
+                    0x1 => cfg.instrs.push(InstrConfig {
+                        opcode: (w >> 56) as u8,
+                        operands: [(w >> 48) as u8, (w >> 40) as u8, (w >> 32) as u8],
+                        delay: (w >> 24) as u8,
+                        tag: (w >> 16) as u8,
+                    }),
+                    0x2 => cfg.routes.push(RouteConfig {
+                        in_port: (w >> 56) as u8,
+                        out_port: (w >> 48) as u8,
+                    }),
+                    0x3 => {
+                        cfg.sync = Some(SyncConfig {
+                            lanes: (w >> 56) as u8,
+                            delay: ((w >> 40) & 0xFFFF) as u16,
+                            group: (w >> 32) as u8,
+                        });
+                    }
+                    tag => return Err(format!("unknown payload tag {tag:#x}")),
+                }
+            }
+            i += payload;
+        }
+        Ok(Bitstream { configs })
+    }
+
+    /// Serializes to a byte buffer (big-endian words) for transport.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let words = self.to_words();
+        let mut buf = BytesMut::with_capacity(words.len() * 8);
+        for w in words {
+            buf.put_u64(w);
+        }
+        buf.freeze()
+    }
+
+    /// Total configuration words.
+    #[must_use]
+    pub fn word_count(&self) -> usize {
+        self.to_words().len()
+    }
+
+    /// Opcode the discriminant decodes to, if valid.
+    #[must_use]
+    pub fn opcode_of(discriminant: u8) -> Option<Opcode> {
+        Opcode::ALL
+            .into_iter()
+            .find(|op| *op as u8 == discriminant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, Opcode};
+    use dsagen_dfg::{
+        compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
+    };
+    use dsagen_scheduler::{schedule, SchedulerConfig};
+
+    use super::*;
+
+    fn scheduled() -> (dsagen_adg::Adg, dsagen_dfg::CompiledKernel, Schedule) {
+        let adg = presets::softbrain();
+        let mut k = KernelBuilder::new("axpy");
+        let a = k.array("a", BitWidth::B64, 256, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 256, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 256, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(256), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let m = r.bin(Opcode::Mul, va, vb);
+        let s = r.bin(Opcode::Add, m, vb);
+        r.store(c, AffineExpr::var(i), s);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features()).unwrap();
+        let res = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(res.is_legal());
+        (adg, ck, res.schedule)
+    }
+
+    #[test]
+    fn encode_covers_used_components() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        let bs = Bitstream::encode(&problem, &sched);
+        // Two compute ops → at least one PE config with 2 instrs total.
+        let instr_total: usize = bs.configs.values().map(|c| c.instrs.len()).sum();
+        assert_eq!(instr_total, 2);
+        // Some switches carry routes.
+        assert!(bs.configs.values().any(|c| !c.routes.is_empty()));
+        // Ports have sync configs.
+        assert!(bs.configs.values().any(|c| c.sync.is_some()));
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        let bs = Bitstream::encode(&problem, &sched);
+        let words = bs.to_words();
+        let decoded = Bitstream::from_words(&words).unwrap();
+        assert_eq!(bs, decoded);
+    }
+
+    #[test]
+    fn bytes_are_word_aligned() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        let bs = Bitstream::encode(&problem, &sched);
+        assert_eq!(bs.to_bytes().len(), bs.word_count() * 8);
+    }
+
+    #[test]
+    fn truncated_words_error() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        let words = Bitstream::encode(&problem, &sched).to_words();
+        assert!(Bitstream::from_words(&words[..words.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn opcode_discriminants_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(Bitstream::opcode_of(op as u8), Some(op));
+        }
+        assert_eq!(Bitstream::opcode_of(200), None);
+    }
+
+    #[test]
+    fn timing_encode_programs_static_delays() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        // Re-evaluate to obtain timing facts.
+        let eval = dsagen_scheduler::evaluate(
+            &problem,
+            &sched,
+            &dsagen_scheduler::Weights::default(),
+        );
+        let bs = Bitstream::encode_with_timing(&problem, &sched, &eval);
+        // The axpy add consumes the mul result and a port value — their
+        // arrival times differ, so at least one static instruction carries
+        // a nonzero balancing delay.
+        let any_delay = bs
+            .configs
+            .values()
+            .flat_map(|c| c.instrs.iter())
+            .any(|i| i.delay > 0);
+        assert!(any_delay, "expected a nonzero balancing delay");
+        // And the result still roundtrips.
+        let decoded = Bitstream::from_words(&bs.to_words()).unwrap();
+        assert_eq!(bs, decoded);
+    }
+
+    #[test]
+    fn operand_ports_recorded() {
+        let (adg, ck, sched) = scheduled();
+        let problem = Problem::new(&adg, &ck);
+        let bs = Bitstream::encode(&problem, &sched);
+        // Every instruction has at least one routed operand.
+        for cfg in bs.configs.values() {
+            for i in &cfg.instrs {
+                assert!(
+                    i.operands.iter().any(|p| *p != 0xFF),
+                    "instruction with no routed operands"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Configuration-path generation (§VI "Config. Path Generation").
+//!
+//! The spatial architecture is configured by routing bitstream words along
+//! one or more *configuration paths* that together cover every configurable
+//! node; configuration time is dominated by the longest path. The paper's
+//! approach — reproduced here — first grows multiple initial paths with a
+//! spanning-tree-like pass, then iteratively cuts a node from the longest
+//! path and reattaches it to a nearby shorter path until the maximum length
+//! converges.
+
+use std::collections::{HashMap, VecDeque};
+
+use dsagen_adg::{Adg, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A set of configuration paths over an ADG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigPaths {
+    /// Each path is a walk over adjacent nodes; nodes it *covers* (owns for
+    /// configuration) may be fewer than its length when it passes through
+    /// nodes another path covers.
+    pub paths: Vec<Vec<NodeId>>,
+}
+
+impl ConfigPaths {
+    /// Length (in hops/words) of the longest path — the configuration
+    /// latency.
+    #[must_use]
+    pub fn longest(&self) -> usize {
+        self.paths.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// The ideal longest-path bound `⌈n/p⌉` for `n` nodes and `p` paths
+    /// (§VIII-B: "for a network with n nodes, p paths, the longest path
+    /// cannot be shorter than ⌈n/p⌉").
+    #[must_use]
+    pub fn ideal(nodes: usize, paths: usize) -> usize {
+        nodes.div_ceil(paths.max(1))
+    }
+
+    /// Overhead of the generated paths versus the ideal bound.
+    #[must_use]
+    pub fn overhead(&self, nodes: usize) -> f64 {
+        let ideal = Self::ideal(nodes, self.paths.len());
+        self.longest() as f64 / ideal.max(1) as f64
+    }
+
+    /// Every covered node, across all paths (deduplicated).
+    #[must_use]
+    pub fn covered(&self) -> Vec<NodeId> {
+        let mut all: Vec<NodeId> = self.paths.iter().flatten().copied().collect();
+        all.sort();
+        all.dedup();
+        all
+    }
+}
+
+/// Undirected adjacency over the configurable nodes of `adg`.
+fn adjacency(adg: &Adg) -> HashMap<NodeId, Vec<NodeId>> {
+    let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    let configurable = |id: NodeId| {
+        adg.kind(id)
+            .map(|k| k.is_configurable())
+            .unwrap_or(false)
+    };
+    for node in adg.nodes() {
+        if configurable(node.id()) {
+            adj.entry(node.id()).or_default();
+        }
+    }
+    for edge in adg.edges() {
+        if configurable(edge.src) && configurable(edge.dst) {
+            adj.entry(edge.src).or_default().push(edge.dst);
+            adj.entry(edge.dst).or_default().push(edge.src);
+        }
+    }
+    for list in adj.values_mut() {
+        list.sort();
+        list.dedup();
+    }
+    adj
+}
+
+/// BFS distances within the configurable subgraph.
+fn bfs(adj: &HashMap<NodeId, Vec<NodeId>>, from: NodeId) -> HashMap<NodeId, u32> {
+    let mut dist = HashMap::new();
+    dist.insert(from, 0u32);
+    let mut q = VecDeque::from([from]);
+    while let Some(n) = q.pop_front() {
+        let d = dist[&n];
+        for m in adj.get(&n).into_iter().flatten() {
+            if !dist.contains_key(m) {
+                dist.insert(*m, d + 1);
+                q.push_back(*m);
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest hop path between two nodes in the configurable subgraph
+/// (inclusive of both endpoints).
+fn shortest_walk(
+    adj: &HashMap<NodeId, Vec<NodeId>>,
+    from: NodeId,
+    to: NodeId,
+) -> Option<Vec<NodeId>> {
+    let mut pred: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut q = VecDeque::from([from]);
+    pred.insert(from, from);
+    while let Some(n) = q.pop_front() {
+        if n == to {
+            break;
+        }
+        for m in adj.get(&n).into_iter().flatten() {
+            if !pred.contains_key(m) {
+                pred.insert(*m, n);
+                q.push_back(*m);
+            }
+        }
+    }
+    if !pred.contains_key(&to) {
+        return None;
+    }
+    let mut walk = vec![to];
+    let mut cur = to;
+    while cur != from {
+        cur = pred[&cur];
+        walk.push(cur);
+    }
+    walk.reverse();
+    Some(walk)
+}
+
+/// Generates `p` configuration paths covering every configurable node.
+///
+/// Deterministic for a given `seed`.
+#[must_use]
+pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
+    let adj = adjacency(adg);
+    let mut nodes: Vec<NodeId> = adj.keys().copied().collect();
+    nodes.sort();
+    if nodes.is_empty() {
+        return ConfigPaths { paths: Vec::new() };
+    }
+    let p = p.clamp(1, nodes.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // --- seeds: spread by farthest-point heuristic.
+    let mut seeds = vec![nodes[0]];
+    while seeds.len() < p {
+        let mut best = None;
+        let mut best_d = 0u32;
+        let dists: Vec<HashMap<NodeId, u32>> = seeds.iter().map(|s| bfs(&adj, *s)).collect();
+        for n in &nodes {
+            if seeds.contains(n) {
+                continue;
+            }
+            let d = dists
+                .iter()
+                .map(|dm| dm.get(n).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            if d >= best_d {
+                best_d = d;
+                best = Some(*n);
+            }
+        }
+        match best {
+            Some(n) => seeds.push(n),
+            None => break,
+        }
+    }
+
+    // --- cluster: each node joins its nearest seed ("spanning-tree like").
+    let seed_dists: Vec<HashMap<NodeId, u32>> = seeds.iter().map(|s| bfs(&adj, *s)).collect();
+    let mut clusters: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
+    for n in &nodes {
+        let (best, _) = seed_dists
+            .iter()
+            .enumerate()
+            .map(|(i, dm)| (i, dm.get(n).copied().unwrap_or(u32::MAX)))
+            .min_by_key(|(_, d)| *d)
+            .expect("at least one seed");
+        clusters[best].push(*n);
+    }
+
+    // --- route each cluster with a nearest-neighbor walk (revisits allowed
+    // through shortest connecting walks).
+    let mut paths: Vec<Vec<NodeId>> = clusters
+        .iter()
+        .map(|cluster| walk_cluster(&adj, cluster, &mut rng))
+        .collect();
+
+    prune(&mut paths);
+
+    // --- improvement: cut a node from the longest path, attach it to a
+    // nearby shorter path (§VI), until converged.
+    for _ in 0..4 * nodes.len() {
+        prune(&mut paths);
+        let longest = match paths
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, path)| path.len())
+        {
+            Some((i, path)) if path.len() > 1 => i,
+            _ => break,
+        };
+        let before = paths[longest].len();
+        // Candidate node to cut: an endpoint of the longest path that is
+        // not a pass-through for coverage.
+        let Some(&victim) = paths[longest].last() else {
+            break;
+        };
+        // Find the shorter path with the cheapest attachment.
+        let mut best: Option<(usize, usize)> = None; // (path, new length)
+        for (pi, path) in paths.iter().enumerate() {
+            if pi == longest || path.len() + 1 >= before {
+                continue;
+            }
+            let tail = *path.last().expect("paths are nonempty");
+            if let Some(w) = shortest_walk(&adj, tail, victim) {
+                let new_len = path.len() + w.len() - 1;
+                if new_len < before && best.is_none_or(|(_, l)| new_len < l) {
+                    best = Some((pi, new_len));
+                }
+            }
+        }
+        let Some((target, _)) = best else { break };
+        // Commit: remove the victim from the longest path (and any trailing
+        // pass-through nodes that were only there to reach it), append the
+        // connecting walk to the target path.
+        paths[longest].pop();
+        let tail = *paths[target].last().expect("nonempty");
+        let walk = shortest_walk(&adj, tail, victim).expect("checked above");
+        paths[target].extend_from_slice(&walk[1..]);
+    }
+
+    // Safety: guarantee coverage (anything lost re-appends to the shortest
+    // path).
+    let covered: std::collections::HashSet<NodeId> =
+        paths.iter().flatten().copied().collect();
+    for n in &nodes {
+        if !covered.contains(n) {
+            let shortest = paths
+                .iter_mut()
+                .min_by_key(|p| p.len())
+                .expect("p >= 1 paths");
+            let tail = *shortest.last().expect("nonempty");
+            if let Some(w) = shortest_walk(&adj, tail, *n) {
+                shortest.extend_from_slice(&w[1..]);
+            } else {
+                shortest.push(*n);
+            }
+        }
+    }
+
+    ConfigPaths { paths }
+}
+
+/// Removes redundant path endpoints: a trailing or leading node that is
+/// already covered elsewhere (another path, or earlier in the same path)
+/// adds length without adding coverage.
+fn prune(paths: &mut [Vec<NodeId>]) {
+    use std::collections::HashMap;
+    // Global coverage counts.
+    let mut count: HashMap<NodeId, u32> = HashMap::new();
+    for p in paths.iter() {
+        for n in p {
+            *count.entry(*n).or_insert(0) += 1;
+        }
+    }
+    for p in paths.iter_mut() {
+        loop {
+            let mut trimmed = false;
+            if p.len() > 1 {
+                let last = *p.last().expect("nonempty");
+                if count.get(&last).copied().unwrap_or(0) > 1 {
+                    p.pop();
+                    *count.get_mut(&last).expect("counted") -= 1;
+                    trimmed = true;
+                }
+            }
+            if p.len() > 1 {
+                let first = p[0];
+                if count.get(&first).copied().unwrap_or(0) > 1 {
+                    p.remove(0);
+                    *count.get_mut(&first).expect("counted") -= 1;
+                    trimmed = true;
+                }
+            }
+            if !trimmed {
+                break;
+            }
+        }
+    }
+}
+
+/// Nearest-neighbor walk covering every node of `cluster`.
+fn walk_cluster(
+    adj: &HashMap<NodeId, Vec<NodeId>>,
+    cluster: &[NodeId],
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    if cluster.is_empty() {
+        return Vec::new();
+    }
+    let mut remaining: Vec<NodeId> = cluster.to_vec();
+    remaining.shuffle(rng);
+    let start = remaining.pop().expect("nonempty cluster");
+    let mut path = vec![start];
+    while !remaining.is_empty() {
+        let cur = *path.last().expect("nonempty");
+        let dist = bfs(adj, cur);
+        // Nearest remaining node.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, n)| dist.get(n).copied().unwrap_or(u32::MAX))
+            .expect("nonempty remaining");
+        let next = remaining.swap_remove(idx);
+        match shortest_walk(adj, cur, next) {
+            Some(w) => path.extend_from_slice(&w[1..]),
+            None => path.push(next), // disconnected; charged but placed
+        }
+        // Anything passed through is covered for free.
+        remaining.retain(|n| !path.contains(n));
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, OpSet, PeSpec, Scheduling, Sharing, SwitchSpec};
+
+    use super::*;
+
+    #[test]
+    fn covers_every_configurable_node() {
+        let adg = presets::softbrain();
+        let configurable = adg
+            .nodes()
+            .filter(|n| n.kind.is_configurable())
+            .count();
+        for p in [1, 3, 6, 9] {
+            let cp = generate_config_paths(&adg, p, 7);
+            assert_eq!(
+                cp.covered().len(),
+                configurable,
+                "p={p}: coverage incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn more_paths_shorter_longest() {
+        let adg = presets::softbrain();
+        let one = generate_config_paths(&adg, 1, 7).longest();
+        let nine = generate_config_paths(&adg, 9, 7).longest();
+        assert!(nine < one, "1 path {one} vs 9 paths {nine}");
+    }
+
+    #[test]
+    fn overhead_is_modest_on_meshes() {
+        // Fig 13: mean ~1.4× over the ⌈n/p⌉ ideal.
+        let adg = presets::softbrain();
+        let n = adg.nodes().filter(|x| x.kind.is_configurable()).count();
+        for p in [3usize, 6, 9] {
+            let cp = generate_config_paths(&adg, p, 7);
+            let over = cp.overhead(n);
+            assert!(over >= 1.0);
+            assert!(over < 2.5, "p={p} overhead {over}");
+        }
+    }
+
+    #[test]
+    fn paths_are_contiguous_walks() {
+        let adg = presets::spu();
+        let adj = adjacency(&adg);
+        let cp = generate_config_paths(&adg, 4, 3);
+        for path in &cp.paths {
+            for pair in path.windows(2) {
+                assert!(
+                    adj[&pair[0]].contains(&pair[1]),
+                    "{} !~ {}",
+                    pair[0],
+                    pair[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let adg = presets::revel();
+        assert_eq!(
+            generate_config_paths(&adg, 3, 11),
+            generate_config_paths(&adg, 3, 11)
+        );
+    }
+
+    #[test]
+    fn single_component_graph() {
+        let mut adg = dsagen_adg::Adg::new("tiny");
+        let pe = adg.add_pe(PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu(),
+        ));
+        let sw = adg.add_switch(SwitchSpec::new(dsagen_adg::BitWidth::B64));
+        adg.add_link(sw, pe).unwrap();
+        let cp = generate_config_paths(&adg, 2, 0);
+        assert_eq!(cp.covered().len(), 2);
+    }
+}

@@ -1,0 +1,23 @@
+//! Hardware generation for DSAGEN (§VI).
+//!
+//! Three artifacts turn an ADG + schedule into deployable hardware:
+//!
+//! * [`Bitstream`] — per-component configuration words (routing tables,
+//!   instruction slots with opcodes/timing/tags, sync-element delays),
+//!   serializable and roundtrip-decodable;
+//! * [`generate_config_paths`] — one or more network walks covering every
+//!   configurable component, minimizing the longest path (which dominates
+//!   configuration time, Fig 13);
+//! * [`emit_verilog`] — structural Verilog for the whole fabric (the
+//!   Chisel-backend substitute; see DESIGN.md).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bitstream;
+mod config_path;
+mod rtl;
+
+pub use bitstream::{Bitstream, InstrConfig, NodeConfig, RouteConfig, SyncConfig};
+pub use config_path::{generate_config_paths, ConfigPaths};
+pub use rtl::emit_verilog;

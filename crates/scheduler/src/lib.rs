@@ -1,0 +1,36 @@
+//! Stochastic spatial scheduler with schedule repair for DSAGEN.
+//!
+//! The scheduler has the three responsibilities of §IV-C: it (1) maps
+//! instructions and memory streams onto hardware units, (2) routes
+//! dependences onto the on-chip network with congestion-aware Dijkstra
+//! search, and (3) matches operand-arrival timing for statically-scheduled
+//! components via delay-element budgets.
+//!
+//! The search is Algorithm 1: each iteration unmaps a few entities (biased
+//! toward those involved in violations), re-places each by trying sampled
+//! candidates and committing the one with the best overall objective, and
+//! stops once the schedule is violation-free and the objective has been
+//! stable. Resources may be transiently overutilized; the weighted
+//! objective ([`Weights`]) prices overuse, maximum initiation interval, and
+//! recurrence-path latency in the paper's priority order.
+//!
+//! [`repair`] implements the §V-A *repairing scheduler* for design-space
+//! exploration: placements referencing deleted hardware are dropped, the
+//! remainder is kept, and the same iteration loop finishes the job — far
+//! cheaper than re-mapping from scratch when the ADG changed incrementally.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod objective;
+mod problem;
+mod route;
+mod schedule;
+#[allow(clippy::module_inception)]
+mod scheduler;
+
+pub use objective::{evaluate, Evaluation, RegionEval, Weights, MEM_ROUNDTRIP};
+pub use problem::{op_rates, Entity, EntityKind, Problem, VirtEdge};
+pub use route::{delay_capacity, route};
+pub use schedule::Schedule;
+pub use scheduler::{repair, schedule, ScheduleResult, SchedulerConfig};

@@ -1,0 +1,331 @@
+//! Congestion-aware Dijkstra routing over the ADG network (§IV-C:
+//! "route this instruction's operands and dependences to the network using
+//! Dijkstra's algorithm").
+//!
+//! The search runs over *edges* rather than nodes so that each switch's
+//! routing-connectivity matrix (§III-A: "describes which inputs can connect
+//! to which outputs") can be honored per traversal.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind, Scheduling};
+
+/// Maximum hops a single route may take (guards against degenerate paths).
+const MAX_HOPS: usize = 64;
+
+/// A candidate in the Dijkstra frontier: the last edge taken.
+#[derive(Debug, PartialEq)]
+struct Frontier {
+    cost: f64,
+    edge: EdgeId,
+    hops: usize,
+}
+
+impl Eq for Frontier {}
+
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by cost.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.edge.index().cmp(&other.edge.index()))
+    }
+}
+
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Whether a node may appear in the *interior* of a route. Values travel
+/// through switches, delay FIFOs, and sync elements; PEs, memories, and the
+/// control core terminate routes.
+fn passable(kind: &NodeKind) -> bool {
+    matches!(
+        kind,
+        NodeKind::Switch(_) | NodeKind::Delay(_) | NodeKind::Sync(_)
+    )
+}
+
+/// Whether a value may traverse the hop `u → v` under the execution-model
+/// composition rules (§III-B): dynamically-timed outputs may not feed
+/// elements requiring static timing, except through sync elements.
+fn hop_legal(adg: &Adg, u: NodeId, v: NodeId) -> bool {
+    let (Ok(su), Ok(sv)) = (adg.kind(u), adg.kind(v)) else {
+        return false;
+    };
+    match (su.output_timing(), sv.input_tolerance()) {
+        (Scheduling::Dynamic, Scheduling::Static) => matches!(su, NodeKind::Sync(_)),
+        _ => true,
+    }
+}
+
+/// Whether continuing from incoming edge `e_in` to outgoing edge `e_out`
+/// through their shared node is permitted by that node's routing matrix
+/// (switches only; other passables route freely).
+fn turn_legal(adg: &Adg, e_in: EdgeId, e_out: EdgeId) -> bool {
+    let Some(edge_in) = adg.edge(e_in) else {
+        return false;
+    };
+    match adg.kind(edge_in.dst) {
+        Ok(NodeKind::Switch(sw)) => {
+            let (Some(ip), Some(op)) = (adg.input_port_of(e_in), adg.output_port_of(e_out))
+            else {
+                return false;
+            };
+            sw.routing.allows(ip, op)
+        }
+        _ => true,
+    }
+}
+
+/// Finds the cheapest legal route from `from` to `to`.
+///
+/// Edge cost is `1 + congestion_weight · usage(edge)`, so already-busy
+/// links are avoided but never forbidden — the scheduler tolerates
+/// overutilization during search and prices it in the objective (§IV-C).
+/// Routes honor switch routing matrices and the §III-B timing rules.
+///
+/// Returns the route as a sequence of ADG edge ids, or `None` when no legal
+/// path exists. A route between co-located entities is the empty sequence.
+#[must_use]
+pub fn route(
+    adg: &Adg,
+    from: NodeId,
+    to: NodeId,
+    usage: impl Fn(EdgeId) -> u32,
+    congestion_weight: f64,
+) -> Option<Vec<EdgeId>> {
+    if from == to {
+        return Some(Vec::new());
+    }
+    // Dense edge-indexed state.
+    let slots = adg.edges().map(|e| e.id().index()).max().map_or(0, |m| m + 1);
+    let mut dist = vec![f64::INFINITY; slots];
+    let mut pred: Vec<Option<EdgeId>> = vec![None; slots];
+    let mut hops_of = vec![0usize; slots];
+    let mut heap = BinaryHeap::new();
+    let mut best_final: Option<(f64, EdgeId)> = None;
+
+    let step_cost =
+        |eid: EdgeId| 1.0 + congestion_weight * f64::from(usage(eid));
+
+    // Seed: every legal first hop out of `from`.
+    for edge in adg.out_edges(from) {
+        let next = edge.dst;
+        if next != to {
+            let Ok(kind) = adg.kind(next) else { continue };
+            if !passable(kind) {
+                continue;
+            }
+        }
+        if !hop_legal(adg, from, next) {
+            continue;
+        }
+        let c = step_cost(edge.id());
+        if c < dist[edge.id().index()] {
+            dist[edge.id().index()] = c;
+            hops_of[edge.id().index()] = 1;
+            heap.push(Frontier {
+                cost: c,
+                edge: edge.id(),
+                hops: 1,
+            });
+        }
+    }
+
+    while let Some(Frontier { cost, edge, hops }) = heap.pop() {
+        if cost > dist[edge.index()] || hops >= MAX_HOPS {
+            continue;
+        }
+        let Some(cur) = adg.edge(edge) else { continue };
+        if cur.dst == to {
+            if best_final.is_none_or(|(bc, _)| cost < bc) {
+                best_final = Some((cost, edge));
+            }
+            continue;
+        }
+        for out in adg.out_edges(cur.dst) {
+            let next = out.dst;
+            if next != to {
+                let Ok(kind) = adg.kind(next) else { continue };
+                if !passable(kind) {
+                    continue;
+                }
+            }
+            if !hop_legal(adg, cur.dst, next) || !turn_legal(adg, edge, out.id()) {
+                continue;
+            }
+            let ncost = cost + step_cost(out.id());
+            if ncost < dist[out.id().index()] {
+                dist[out.id().index()] = ncost;
+                pred[out.id().index()] = Some(edge);
+                hops_of[out.id().index()] = hops + 1;
+                heap.push(Frontier {
+                    cost: ncost,
+                    edge: out.id(),
+                    hops: hops + 1,
+                });
+            }
+        }
+    }
+
+    let (_, last) = best_final?;
+    // Walk predecessors back to the source.
+    let mut path = vec![last];
+    let mut cur = last;
+    while let Some(p) = pred[cur.index()] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    debug_assert_eq!(adg.edge(path[0])?.src, from);
+    Some(path)
+}
+
+/// Total configurable delay capacity (cycles) of the delay elements along a
+/// route — the budget available for pipeline balancing (§III-B).
+#[must_use]
+pub fn delay_capacity(adg: &Adg, route: &[EdgeId]) -> u32 {
+    route
+        .iter()
+        .filter_map(|e| adg.edge(*e))
+        .filter_map(|e| match adg.kind(e.dst) {
+            Ok(NodeKind::Delay(d)) => Some(u32::from(d.depth)),
+            _ => None,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, OpSet, PeSpec, Routing, Sharing, SwitchSpec};
+
+    use super::*;
+
+    #[test]
+    fn routes_exist_between_ports_and_pes() {
+        let adg = presets::softbrain();
+        let sync = adg.syncs().next().unwrap();
+        let pe = adg.pes().last().unwrap();
+        let r = route(&adg, sync, pe, |_| 0, 0.5).expect("path must exist");
+        assert!(!r.is_empty());
+        // The route is contiguous: each edge's src is the previous dst.
+        let mut cur = sync;
+        for eid in &r {
+            let e = adg.edge(*eid).unwrap();
+            assert_eq!(e.src, cur);
+            cur = e.dst;
+        }
+        assert_eq!(cur, pe);
+    }
+
+    #[test]
+    fn same_node_route_is_empty() {
+        let adg = presets::softbrain();
+        let pe = adg.pes().next().unwrap();
+        assert_eq!(route(&adg, pe, pe, |_| 0, 0.5), Some(Vec::new()));
+    }
+
+    #[test]
+    fn congestion_diverts_routes() {
+        let adg = presets::softbrain();
+        let sync = adg.syncs().next().unwrap();
+        let pe = adg.pes().nth(5).unwrap();
+        let base = route(&adg, sync, pe, |_| 0, 0.5).unwrap();
+        // Make the first route's edges expensive; a different route should
+        // appear (or at least not be *more* expensive in base terms).
+        let busy: std::collections::HashSet<_> = base.iter().copied().collect();
+        let alt = route(&adg, sync, pe, |e| if busy.contains(&e) { 10 } else { 0 }, 1.0).unwrap();
+        assert_ne!(base, alt);
+    }
+
+    #[test]
+    fn no_route_through_pes() {
+        let adg = presets::softbrain();
+        // Any route's interior nodes must be switches/delays/syncs.
+        let syncs: Vec<_> = adg.syncs().collect();
+        let r = route(&adg, syncs[0], syncs[syncs.len() - 1], |_| 0, 0.5);
+        if let Some(r) = r {
+            for eid in &r[..r.len().saturating_sub(1)] {
+                let e = adg.edge(*eid).unwrap();
+                let kind = adg.kind(e.dst).unwrap();
+                assert!(passable(kind), "route passes through {}", e.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_to_static_requires_sync_on_revel() {
+        let adg = presets::revel();
+        // A dynamic PE (rows 2–3) routing to a static PE (rows 0–1) must
+        // pass through a bridge sync element.
+        let dyn_pe = adg
+            .nodes()
+            .find(|n| n.label.as_deref() == Some("pe3_0"))
+            .unwrap()
+            .id();
+        let static_pe = adg
+            .nodes()
+            .find(|n| n.label.as_deref() == Some("pe0_0"))
+            .unwrap()
+            .id();
+        if let Some(r) = route(&adg, dyn_pe, static_pe, |_| 0, 0.5) {
+            let through_sync = r.iter().any(|eid| {
+                let e = adg.edge(*eid).unwrap();
+                matches!(adg.kind(e.dst), Ok(NodeKind::Sync(_)))
+            });
+            assert!(through_sync, "dynamic→static route must cross a sync");
+        }
+    }
+
+    #[test]
+    fn delay_capacity_counts_delay_nodes() {
+        let adg = presets::softbrain();
+        // Softbrain PEs have delay FIFOs on their inputs; a route ending at
+        // a PE passes one.
+        let sync = adg.syncs().next().unwrap();
+        let pe = adg.pes().next().unwrap();
+        let r = route(&adg, sync, pe, |_| 0, 0.5).unwrap();
+        assert!(delay_capacity(&adg, &r) > 0);
+    }
+
+    /// A three-node chain `src_pe → switch → {a, b}` where the switch's
+    /// routing matrix only allows its first input to reach output 0.
+    fn matrix_fixture(allow_second_output: bool) -> (dsagen_adg::Adg, NodeId, NodeId, NodeId) {
+        let mut adg = dsagen_adg::Adg::new("matrix");
+        let pe_spec = PeSpec::new(
+            dsagen_adg::Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu(),
+        );
+        let src = adg.add_pe(pe_spec.clone());
+        let matrix = Routing::Matrix(vec![vec![true, allow_second_output]]);
+        let sw = adg.add_switch(SwitchSpec::new(BitWidth::B64).with_routing(matrix));
+        let a = adg.add_pe(pe_spec.clone());
+        let b = adg.add_pe(pe_spec);
+        adg.add_link(src, sw).unwrap();
+        adg.add_link(sw, a).unwrap(); // output port 0
+        adg.add_link(sw, b).unwrap(); // output port 1
+        (adg, src, a, b)
+    }
+
+    #[test]
+    fn routing_matrix_permits_allowed_turn() {
+        let (adg, src, a, _) = matrix_fixture(false);
+        assert!(route(&adg, src, a, |_| 0, 0.5).is_some());
+    }
+
+    #[test]
+    fn routing_matrix_blocks_forbidden_turn() {
+        let (adg, src, _, b) = matrix_fixture(false);
+        assert_eq!(route(&adg, src, b, |_| 0, 0.5), None);
+        // With the matrix opened up, the same turn routes.
+        let (adg, src, _, b) = matrix_fixture(true);
+        assert!(route(&adg, src, b, |_| 0, 0.5).is_some());
+    }
+}

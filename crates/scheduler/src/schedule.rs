@@ -1,0 +1,375 @@
+//! The schedule: placements, routes, and stream→memory bindings.
+
+use std::collections::BTreeMap;
+
+use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind};
+use dsagen_dfg::StreamSource;
+
+use crate::{EntityKind, Problem};
+
+/// A (possibly partial) mapping of a compiled kernel onto an ADG.
+///
+/// Indices are positional against the [`Problem`] that minted the schedule:
+/// `placement[i]` is entity `i`'s ADG node, `routes[j]` is virtual edge
+/// `j`'s network path. Partial schedules are first-class — the repairing
+/// scheduler starts from them (§V-A).
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    /// Entity placements.
+    pub placement: Vec<Option<NodeId>>,
+    /// Routed virtual edges: edge index → ADG edge path.
+    pub routes: BTreeMap<usize, Vec<EdgeId>>,
+}
+
+impl Schedule {
+    /// An empty schedule shaped for `problem`.
+    #[must_use]
+    pub fn empty(problem: &Problem<'_>) -> Self {
+        Schedule {
+            placement: vec![None; problem.entities.len()],
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// Whether every entity is placed and every edge routed.
+    #[must_use]
+    pub fn is_complete(&self, problem: &Problem<'_>) -> bool {
+        self.placement.iter().all(Option::is_some)
+            && problem.edges.iter().enumerate().all(|(i, _)| {
+                self.routes.contains_key(&i)
+            })
+    }
+
+    /// Unmaps entity `e`, dropping its placement and all incident routes.
+    pub fn unplace(&mut self, problem: &Problem<'_>, e: usize) {
+        self.placement[e] = None;
+        for (i, edge) in problem.edges.iter().enumerate() {
+            if edge.src == e || edge.dst == e {
+                self.routes.remove(&i);
+            }
+        }
+    }
+
+    /// Drops every placement and route that references hardware no longer
+    /// present (or no longer compatible) in `problem.adg` — the first step
+    /// of schedule repair after a DSE mutation (§V-A: "any aspect of the
+    /// input program which used a deleted ADG component is also deleted
+    /// from the schedule").
+    ///
+    /// Returns how many entities were invalidated.
+    pub fn invalidate_removed(&mut self, problem: &Problem<'_>) -> usize {
+        // Resize if the problem shape changed (defensive; same kernel keeps
+        // the same shape).
+        if self.placement.len() != problem.entities.len() {
+            *self = Schedule::empty(problem);
+            return problem.entities.len();
+        }
+        let adg = problem.adg;
+        let mut dropped = 0;
+        for (i, slot) in self.placement.iter_mut().enumerate() {
+            let Some(node) = *slot else { continue };
+            let still_ok = match adg.kind(node) {
+                Err(_) => false,
+                Ok(kind) => match &problem.entities[i].kind {
+                    EntityKind::Op { .. } => match kind {
+                        NodeKind::Pe(pe) => {
+                            let e = &problem.entities[i];
+                            e.opcode.is_none_or(|oc| pe.ops.contains(oc))
+                                && (!e.needs_stream_join || pe.supports_stream_join())
+                        }
+                        _ => false,
+                    },
+                    EntityKind::InPort { .. } | EntityKind::OutPort { .. } => {
+                        matches!(kind, NodeKind::Sync(_))
+                    }
+                },
+            };
+            if !still_ok {
+                *slot = None;
+                dropped += 1;
+            }
+        }
+        // Routes: every ADG edge must still exist and endpoints must still
+        // be placed where the route assumes.
+        let placement = &self.placement;
+        self.routes.retain(|idx, path| {
+            let Some(vedge) = problem.edges.get(*idx) else {
+                return false;
+            };
+            if placement[vedge.src].is_none() || placement[vedge.dst].is_none() {
+                return false;
+            }
+            let mut cur = placement[vedge.src].expect("checked");
+            for eid in path.iter() {
+                match adg.edge(*eid) {
+                    Some(e) if e.src == cur => cur = e.dst,
+                    _ => return false,
+                }
+            }
+            Some(cur) == placement[vedge.dst]
+        });
+        dropped
+    }
+
+    /// Usage count per ADG edge across all routes.
+    #[must_use]
+    pub fn edge_usage(&self) -> BTreeMap<EdgeId, u32> {
+        let mut usage: BTreeMap<EdgeId, u32> = BTreeMap::new();
+        for path in self.routes.values() {
+            for e in path {
+                *usage.entry(*e).or_insert(0) += 1;
+            }
+        }
+        usage
+    }
+
+    /// The set of *values* (producing entities) carried by each ADG edge.
+    ///
+    /// Fan-out is free in hardware — a switch broadcasting one value to
+    /// several consumers uses each physical link once — so congestion is
+    /// counted per distinct value, not per route.
+    #[must_use]
+    pub fn edge_values(&self, problem: &Problem<'_>) -> BTreeMap<EdgeId, Vec<usize>> {
+        let mut values: BTreeMap<EdgeId, Vec<usize>> = BTreeMap::new();
+        for (idx, path) in &self.routes {
+            let Some(vedge) = problem.edges.get(*idx) else {
+                continue;
+            };
+            for e in path {
+                let entry = values.entry(*e).or_default();
+                if !entry.contains(&vedge.src) {
+                    entry.push(vedge.src);
+                }
+            }
+        }
+        values
+    }
+
+    /// Resolves every stream of every region to a memory node: fabric
+    /// streams bind to a compatible memory adjacent to their port's sync
+    /// element; controller-side index streams bind to the first memory of
+    /// their class. Returns `(region, in/out, stream_port) → memory`.
+    #[must_use]
+    pub fn stream_memories(&self, problem: &Problem<'_>) -> BTreeMap<(usize, bool, usize), NodeId> {
+        let adg = problem.adg;
+        let mut out = BTreeMap::new();
+        let mem_of_class = |mc: dsagen_dfg::MemClass| -> Option<NodeId> {
+            adg.memories().find(|m| match adg.kind(*m) {
+                Ok(NodeKind::Memory(spec)) => match mc {
+                    dsagen_dfg::MemClass::MainMemory => {
+                        spec.kind == dsagen_adg::MemKind::MainMemory
+                    }
+                    dsagen_dfg::MemClass::Scratchpad => {
+                        spec.kind == dsagen_adg::MemKind::Scratchpad
+                    }
+                },
+                _ => false,
+            })
+        };
+        for (ei, entity) in problem.entities.iter().enumerate() {
+            let Some(sync) = self.placement[ei] else {
+                continue;
+            };
+            match entity.kind {
+                EntityKind::InPort { region, port } => {
+                    if let Some(mc) = entity.mem_class {
+                        let mem = adg
+                            .in_edges(sync)
+                            .map(|e| e.src)
+                            .find(|src| memory_matches(adg, *src, mc, entity))
+                            .or_else(|| mem_of_class(mc));
+                        if let Some(m) = mem {
+                            out.insert((region, true, port), m);
+                        }
+                    }
+                }
+                EntityKind::OutPort { region, port } => {
+                    if let Some(mc) = entity.mem_class {
+                        let mem = adg
+                            .out_edges(sync)
+                            .map(|e| e.dst)
+                            .find(|dst| memory_matches(adg, *dst, mc, entity))
+                            .or_else(|| mem_of_class(mc));
+                        if let Some(m) = mem {
+                            out.insert((region, false, port), m);
+                        }
+                    }
+                }
+                EntityKind::Op { .. } => {}
+            }
+        }
+        // Controller-side index streams (not represented as entities).
+        for (ri, region) in problem.kernel.regions.iter().enumerate() {
+            for s in &region.in_streams {
+                if !s.to_fabric {
+                    if let StreamSource::Memory(mc) = s.source {
+                        if let Some(m) = mem_of_class(mc) {
+                            out.insert((ri, true, s.port), m);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn memory_matches(
+    adg: &Adg,
+    node: NodeId,
+    mc: dsagen_dfg::MemClass,
+    entity: &crate::Entity,
+) -> bool {
+    match adg.kind(node) {
+        Ok(NodeKind::Memory(spec)) => {
+            let class_ok = match mc {
+                dsagen_dfg::MemClass::MainMemory => spec.kind == dsagen_adg::MemKind::MainMemory,
+                dsagen_dfg::MemClass::Scratchpad => spec.kind == dsagen_adg::MemKind::Scratchpad,
+            };
+            class_ok
+                && (!entity.needs_indirect || spec.controllers.indirect)
+                && (!entity.needs_atomic || spec.controllers.atomic_update)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, Opcode};
+    use dsagen_dfg::{
+        compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
+    };
+
+    use super::*;
+
+    fn problem_fixture(adg: &Adg) -> (dsagen_dfg::CompiledKernel, ()) {
+        let mut k = KernelBuilder::new("dot");
+        let a = k.array("a", BitWidth::B64, 64, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 64, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(64), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let p = r.bin(Opcode::Mul, va, vb);
+        let acc = r.reduce(Opcode::Add, p, i);
+        r.store(c, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        (
+            compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features()).unwrap(),
+            (),
+        )
+    }
+
+    #[test]
+    fn empty_schedule_is_incomplete() {
+        let adg = presets::softbrain();
+        let (ck, ()) = problem_fixture(&adg);
+        let p = Problem::new(&adg, &ck);
+        let s = Schedule::empty(&p);
+        assert!(!s.is_complete(&p));
+    }
+
+    #[test]
+    fn unplace_drops_incident_routes() {
+        let adg = presets::softbrain();
+        let (ck, ()) = problem_fixture(&adg);
+        let p = Problem::new(&adg, &ck);
+        let mut s = Schedule::empty(&p);
+        s.placement[0] = Some(adg.syncs().next().unwrap());
+        s.routes.insert(0, vec![]);
+        // Edge 0 has src or dst 0? Find an edge touching entity 0.
+        let touching: Vec<usize> = p
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.src == 0 || e.dst == 0)
+            .map(|(i, _)| i)
+            .collect();
+        for t in &touching {
+            s.routes.insert(*t, vec![]);
+        }
+        s.unplace(&p, 0);
+        assert!(s.placement[0].is_none());
+        for t in &touching {
+            assert!(!s.routes.contains_key(t));
+        }
+    }
+
+    #[test]
+    fn invalidate_drops_placements_on_removed_nodes() {
+        let mut adg = presets::softbrain();
+        let (ck, ()) = problem_fixture(&adg);
+        let victim_pe = adg.pes().next().unwrap();
+        // Build the problem against the *mutated* adg after deleting a PE,
+        // as the DSE does.
+        let mut s = {
+            let p = Problem::new(&adg, &ck);
+            let mut s = Schedule::empty(&p);
+            // Place an op entity on the victim PE.
+            let op_idx = p
+                .entities
+                .iter()
+                .position(|e| matches!(e.kind, EntityKind::Op { .. }))
+                .unwrap();
+            s.placement[op_idx] = Some(victim_pe);
+            s
+        };
+        adg.remove_node(victim_pe).unwrap();
+        let p = Problem::new(&adg, &ck);
+        let dropped = s.invalidate_removed(&p);
+        assert_eq!(dropped, 1);
+        assert!(s.placement.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn invalidate_drops_routes_with_dead_edges() {
+        let mut adg = presets::softbrain();
+        let (ck, ()) = problem_fixture(&adg);
+        // Route over an edge, then delete the edge.
+        let some_edge = adg.edges().next().unwrap().id();
+        let (src_node, dst_node) = {
+            let e = adg.edge(some_edge).unwrap();
+            (e.src, e.dst)
+        };
+        let mut s = {
+            let p = Problem::new(&adg, &ck);
+            let mut s = Schedule::empty(&p);
+            if !p.edges.is_empty() {
+                s.placement[p.edges[0].src] = Some(src_node);
+                s.placement[p.edges[0].dst] = Some(dst_node);
+                s.routes.insert(0, vec![some_edge]);
+            }
+            s
+        };
+        adg.remove_edge(some_edge).unwrap();
+        let p = Problem::new(&adg, &ck);
+        s.invalidate_removed(&p);
+        assert!(!s.routes.contains_key(&0));
+    }
+
+    #[test]
+    fn stream_memories_resolve_by_adjacency() {
+        let adg = presets::softbrain();
+        let (ck, ()) = problem_fixture(&adg);
+        let p = Problem::new(&adg, &ck);
+        let mut s = Schedule::empty(&p);
+        // Place the two in-ports and the out-port on syncs.
+        let syncs: Vec<_> = adg.syncs().collect();
+        for (i, e) in p.entities.iter().enumerate() {
+            match e.kind {
+                EntityKind::InPort { .. } | EntityKind::OutPort { .. } => {
+                    s.placement[i] = Some(syncs[i % syncs.len()]);
+                }
+                EntityKind::Op { .. } => {}
+            }
+        }
+        let mems = s.stream_memories(&p);
+        assert_eq!(mems.len(), 3); // a, b reads + c write
+        for m in mems.values() {
+            assert!(matches!(adg.kind(*m), Ok(NodeKind::Memory(_))));
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! The stochastic scheduling loop (§IV-C Algorithm 1) and schedule repair
+//! (§V-A).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use dsagen_adg::Adg;
+use dsagen_dfg::CompiledKernel;
+
+use crate::{evaluate, route, Evaluation, Problem, Schedule, Weights};
+
+/// Tunables for the stochastic scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SchedulerConfig {
+    /// Maximum improvement iterations (the paper's DSE uses up to 200 per
+    /// hardware change, §VIII-B).
+    pub max_iters: u32,
+    /// Candidate placements sampled per unmapped entity.
+    pub candidates: usize,
+    /// Iterations without improvement before a feasible schedule is
+    /// declared converged.
+    pub patience: u32,
+    /// RNG seed (every run is deterministic given the seed).
+    pub seed: u64,
+    /// Congestion weight used during routing.
+    pub congestion: f64,
+    /// Objective weights.
+    pub weights: Weights,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            max_iters: 200,
+            candidates: 6,
+            patience: 30,
+            seed: 0xD5A6E4,
+            // Sharing a link is priced far above any detour the router
+            // could take (MAX_HOPS-bounded), so congestion is only accepted
+            // when no alternative path exists at all.
+            congestion: 100.0,
+            weights: Weights::default(),
+        }
+    }
+}
+
+/// The outcome of a scheduling run.
+#[derive(Debug, Clone)]
+pub struct ScheduleResult {
+    /// The best schedule found.
+    pub schedule: Schedule,
+    /// Its evaluation.
+    pub eval: Evaluation,
+    /// Iterations actually executed.
+    pub iterations: u32,
+}
+
+impl ScheduleResult {
+    /// Whether the schedule is complete and violation-free.
+    #[must_use]
+    pub fn is_legal(&self) -> bool {
+        self.eval.feasible
+    }
+}
+
+/// Schedules `kernel` onto `adg` from scratch.
+///
+/// # Example
+///
+/// ```
+/// use dsagen_adg::{presets, BitWidth, Opcode};
+/// use dsagen_dfg::*;
+/// use dsagen_scheduler::{schedule, SchedulerConfig};
+///
+/// let adg = presets::softbrain();
+/// let mut k = KernelBuilder::new("scale");
+/// let a = k.array("a", BitWidth::B64, 64, MemClass::MainMemory);
+/// let mut r = k.region("body", 1.0);
+/// let i = r.for_loop(TripCount::fixed(64), true);
+/// let v = r.load(a, AffineExpr::var(i));
+/// let two = r.imm(2);
+/// let w = r.bin(Opcode::Mul, v, two);
+/// r.store(a, AffineExpr::var(i), w);
+/// k.finish_region(r);
+/// let kernel = k.build()?;
+/// let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
+/// let result = schedule(&adg, &ck, &SchedulerConfig::default());
+/// assert!(result.is_legal());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn schedule(adg: &Adg, kernel: &CompiledKernel, cfg: &SchedulerConfig) -> ScheduleResult {
+    let problem = Problem::new(adg, kernel);
+    let initial = Schedule::empty(&problem);
+    run(&problem, initial, cfg)
+}
+
+/// Repairs a previous schedule against a (possibly mutated) ADG, then
+/// continues iterating — the §V-A repairing scheduler. Placements on
+/// deleted or incompatible hardware are dropped; everything else is reused.
+#[must_use]
+pub fn repair(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    mut previous: Schedule,
+    cfg: &SchedulerConfig,
+) -> ScheduleResult {
+    let problem = Problem::new(adg, kernel);
+    previous.invalidate_removed(&problem);
+    run(&problem, previous, cfg)
+}
+
+fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> ScheduleResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Initial completion: place every unplaced entity greedily.
+    complete(problem, &mut sched, cfg, &mut rng);
+    let mut best_eval = evaluate(problem, &sched, &cfg.weights);
+    let mut best = sched.clone();
+    let mut stale = 0u32;
+    let mut iterations = 0u32;
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        // "Unmap one or more mapped instructions (or streams)" — victims
+        // biased toward entities involved in violations.
+        let victims = pick_victims(problem, &sched, &mut rng);
+        for v in &victims {
+            sched.unplace(problem, *v);
+        }
+        for v in victims {
+            place_best(problem, &mut sched, v, cfg, &mut rng);
+        }
+        // Rip-up-and-reroute: drop routes crossing congested links so the
+        // congestion-aware router can find detours (PathFinder-style
+        // negotiation, [51]).
+        ripup_congested(problem, &mut sched, &mut rng);
+        // Re-route anything whose route got dropped.
+        route_missing(problem, &mut sched, cfg);
+
+        let eval = evaluate(problem, &sched, &cfg.weights);
+        if eval.objective < best_eval.objective {
+            best_eval = eval;
+            best = sched.clone();
+            stale = 0;
+        } else {
+            stale += 1;
+            // Restart from the best known schedule after a bad streak.
+            if stale % 10 == 0 {
+                sched = best.clone();
+            }
+        }
+        // "Stop if the objective converges": legal and stable.
+        if best_eval.feasible && stale >= cfg.patience {
+            break;
+        }
+    }
+
+    ScheduleResult {
+        schedule: best,
+        eval: best_eval,
+        iterations,
+    }
+}
+
+/// Places every unplaced entity (ports first, then ops in index order,
+/// which is topological within each region) and routes everything.
+fn complete(
+    problem: &Problem<'_>,
+    sched: &mut Schedule,
+    cfg: &SchedulerConfig,
+    rng: &mut StdRng,
+) {
+    let unplaced: Vec<usize> = (0..problem.entities.len())
+        .filter(|i| sched.placement[*i].is_none())
+        .collect();
+    for v in unplaced {
+        place_best(problem, sched, v, cfg, rng);
+    }
+    route_missing(problem, sched, cfg);
+}
+
+/// "For each compatible PE (or memory): route this instruction's operands
+/// and dependences …; compute the objective …; commit to the PE which
+/// yields the highest objective."
+fn place_best(
+    problem: &Problem<'_>,
+    sched: &mut Schedule,
+    v: usize,
+    cfg: &SchedulerConfig,
+    rng: &mut StdRng,
+) {
+    let mut candidates = problem.candidates(&problem.entities[v]);
+    if candidates.is_empty() {
+        return; // stays unplaced; priced by the objective
+    }
+    candidates.shuffle(rng);
+    candidates.truncate(cfg.candidates.max(1));
+
+    let mut best_node = None;
+    let mut best_obj = f64::INFINITY;
+    for node in candidates {
+        sched.placement[v] = Some(node);
+        route_incident(problem, sched, v, cfg);
+        let eval = evaluate(problem, sched, &cfg.weights);
+        if eval.objective < best_obj {
+            best_obj = eval.objective;
+            best_node = Some(node);
+        }
+        // Drop this candidate's routes before trying the next.
+        drop_incident_routes(problem, sched, v);
+        sched.placement[v] = None;
+    }
+    if let Some(node) = best_node {
+        sched.placement[v] = Some(node);
+        route_incident(problem, sched, v, cfg);
+    }
+}
+
+/// Routes every virtual edge incident to `v` whose other endpoint is
+/// placed.
+fn route_incident(problem: &Problem<'_>, sched: &mut Schedule, v: usize, cfg: &SchedulerConfig) {
+    for (i, e) in problem.edges.iter().enumerate() {
+        if e.src != v && e.dst != v {
+            continue;
+        }
+        let (Some(src), Some(dst)) = (sched.placement[e.src], sched.placement[e.dst]) else {
+            continue;
+        };
+        if sched.routes.contains_key(&i) {
+            continue;
+        }
+        let values = sched.edge_values(problem);
+        let src_entity = e.src;
+        if let Some(path) = route(
+            problem.adg,
+            src,
+            dst,
+            |eid| {
+                values.get(&eid).map_or(0, |vals| {
+                    // Re-using a link that already carries this very value
+                    // is free (broadcast); other values congest.
+                    vals.iter().filter(|v| **v != src_entity).count() as u32
+                })
+            },
+            cfg.congestion,
+        ) {
+            sched.routes.insert(i, path);
+        }
+    }
+}
+
+fn drop_incident_routes(problem: &Problem<'_>, sched: &mut Schedule, v: usize) {
+    for (i, e) in problem.edges.iter().enumerate() {
+        if e.src == v || e.dst == v {
+            sched.routes.remove(&i);
+        }
+    }
+}
+
+/// Drops a random subset of the routes that cross links carrying more than
+/// one distinct value, so they can be re-routed around the congestion.
+fn ripup_congested(problem: &Problem<'_>, sched: &mut Schedule, rng: &mut StdRng) {
+    let values = sched.edge_values(problem);
+    let congested: std::collections::BTreeSet<_> = values
+        .iter()
+        .filter(|(_, vals)| vals.len() > 1)
+        .map(|(eid, _)| *eid)
+        .collect();
+    if congested.is_empty() {
+        return;
+    }
+    // Deterministic order: HashMap iteration order must not leak into the
+    // RNG-coupled selection.
+    let mut crossing: Vec<usize> = sched
+        .routes
+        .iter()
+        .filter(|(_, path)| path.iter().any(|eid| congested.contains(eid)))
+        .map(|(i, _)| *i)
+        .collect();
+    crossing.sort_unstable();
+    for i in crossing {
+        if rng.gen_bool(0.5) {
+            sched.routes.remove(&i);
+        }
+    }
+}
+
+/// Routes every edge whose endpoints are placed but which has no route yet.
+fn route_missing(problem: &Problem<'_>, sched: &mut Schedule, cfg: &SchedulerConfig) {
+    for (i, e) in problem.edges.iter().enumerate() {
+        if sched.routes.contains_key(&i) {
+            continue;
+        }
+        let (Some(src), Some(dst)) = (sched.placement[e.src], sched.placement[e.dst]) else {
+            continue;
+        };
+        let values = sched.edge_values(problem);
+        let src_entity = e.src;
+        if let Some(path) = route(
+            problem.adg,
+            src,
+            dst,
+            |eid| {
+                values.get(&eid).map_or(0, |vals| {
+                    vals.iter().filter(|v| **v != src_entity).count() as u32
+                })
+            },
+            cfg.congestion,
+        ) {
+            sched.routes.insert(i, path);
+        }
+    }
+}
+
+/// Chooses 1–3 victims, preferring entities implicated in violations:
+/// unrouted edges, overused PEs, or unplaced neighbors.
+fn pick_victims(problem: &Problem<'_>, sched: &Schedule, rng: &mut StdRng) -> Vec<usize> {
+    let n = problem.entities.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut pool: Vec<usize> = Vec::new();
+    // Entities on overused PEs.
+    let mut pe_counts: std::collections::BTreeMap<_, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, p) in sched.placement.iter().enumerate() {
+        if let Some(node) = p {
+            pe_counts.entry(*node).or_default().push(i);
+        }
+    }
+    for (node, ents) in &pe_counts {
+        let slots = match problem.adg.kind(*node) {
+            Ok(dsagen_adg::NodeKind::Pe(pe)) => pe.sharing.instruction_slots() as usize,
+            Ok(dsagen_adg::NodeKind::Sync(_)) => 1,
+            _ => usize::MAX,
+        };
+        if ents.len() > slots {
+            pool.extend_from_slice(ents);
+        }
+    }
+    // Entities with unrouted edges.
+    for (i, e) in problem.edges.iter().enumerate() {
+        if !sched.routes.contains_key(&i)
+            && sched.placement[e.src].is_some()
+            && sched.placement[e.dst].is_some()
+        {
+            pool.push(e.src);
+            pool.push(e.dst);
+        }
+    }
+    // Entities whose routes cross congested links (more than one distinct
+    // value on a physical link).
+    let values = sched.edge_values(problem);
+    let congested: std::collections::BTreeSet<_> = values
+        .iter()
+        .filter(|(_, vals)| vals.len() > 1)
+        .map(|(eid, _)| *eid)
+        .collect();
+    if !congested.is_empty() {
+        for (i, path) in &sched.routes {
+            if path.iter().any(|eid| congested.contains(eid)) {
+                if let Some(e) = problem.edges.get(*i) {
+                    pool.push(e.src);
+                    pool.push(e.dst);
+                }
+            }
+        }
+    }
+    // Unplaced entities always need attention.
+    pool.extend((0..n).filter(|i| sched.placement[*i].is_none()));
+    // HashMap-sourced segments above make pool order run-dependent; sort so
+    // the seeded RNG yields reproducible schedules.
+    pool.sort_unstable();
+
+    let count = rng.gen_range(1..=3usize.min(n));
+    let mut victims = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = if !pool.is_empty() && rng.gen_bool(0.8) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            rng.gen_range(0..n)
+        };
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, Opcode};
+    use dsagen_dfg::{
+        compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
+    };
+
+    use super::*;
+    use crate::EntityKind;
+
+    fn dot_kernel(n: u64) -> dsagen_dfg::Kernel {
+        let mut k = KernelBuilder::new("dot");
+        let a = k.array("a", BitWidth::B64, n, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, n, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(n), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let p = r.bin(Opcode::Mul, va, vb);
+        let acc = r.reduce(Opcode::Add, p, i);
+        r.store(c, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        k.build().unwrap()
+    }
+
+    #[test]
+    fn dot_schedules_legally_on_softbrain() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(1024),
+            &TransformConfig::fallback(),
+            &adg.features(),
+        )
+        .unwrap();
+        let result = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(result.is_legal(), "eval: {:?}", result.eval);
+        assert!(result.eval.hops > 0);
+    }
+
+    #[test]
+    fn unrolled_dot_schedules_on_softbrain() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(1024),
+            &TransformConfig {
+                unroll: 4,
+                ..TransformConfig::fallback()
+            },
+            &adg.features(),
+        )
+        .unwrap();
+        let result = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(result.is_legal(), "eval: {:?}", result.eval);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(256),
+            &TransformConfig::fallback(),
+            &adg.features(),
+        )
+        .unwrap();
+        let cfg = SchedulerConfig::default();
+        let a = schedule(&adg, &ck, &cfg);
+        let b = schedule(&adg, &ck, &cfg);
+        assert_eq!(a.schedule.placement, b.schedule.placement);
+        assert_eq!(a.eval.objective, b.eval.objective);
+    }
+
+    #[test]
+    fn repair_reuses_surviving_placements() {
+        let mut adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(256),
+            &TransformConfig::fallback(),
+            &adg.features(),
+        )
+        .unwrap();
+        let cfg = SchedulerConfig::default();
+        let first = schedule(&adg, &ck, &cfg);
+        assert!(first.is_legal());
+
+        // Delete one PE that hosts an instruction.
+        let problem = Problem::new(&adg, &ck);
+        let victim = problem
+            .entities
+            .iter()
+            .enumerate()
+            .find_map(|(i, e)| match e.kind {
+                EntityKind::Op { .. } => first.schedule.placement[i],
+                _ => None,
+            })
+            .expect("some op is placed");
+        adg.remove_node(victim).unwrap();
+
+        let repaired = repair(&adg, &ck, first.schedule.clone(), &cfg);
+        assert!(repaired.is_legal(), "eval: {:?}", repaired.eval);
+        // Nothing is placed on the deleted node.
+        assert!(repaired
+            .schedule
+            .placement
+            .iter()
+            .all(|p| *p != Some(victim)));
+    }
+
+    #[test]
+    fn repair_of_unchanged_adg_is_cheap() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(256),
+            &TransformConfig::fallback(),
+            &adg.features(),
+        )
+        .unwrap();
+        let cfg = SchedulerConfig::default();
+        let first = schedule(&adg, &ck, &cfg);
+        let repaired = repair(&adg, &ck, first.schedule.clone(), &cfg);
+        assert!(repaired.is_legal());
+        assert!(repaired.eval.objective <= first.eval.objective + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_stream_join_on_softbrain_stays_unplaced() {
+        // A stream-join version must not become "legal" on hardware with no
+        // stream-join PEs.
+        let mut k = KernelBuilder::new("join");
+        let k0 = k.array("k0", BitWidth::B64, 64, MemClass::MainMemory);
+        let k1 = k.array("k1", BitWidth::B64, 64, MemClass::MainMemory);
+        let out = k.array("out", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("j", 1.0);
+        let j = r.join_loop(
+            dsagen_dfg::JoinSide {
+                key: k0,
+                payloads: vec![],
+                len: 64,
+            },
+            dsagen_dfg::JoinSide {
+                key: k1,
+                payloads: vec![],
+                len: 64,
+            },
+            0.5,
+        );
+        let a = r.load(k0, AffineExpr::var(j));
+        let b = r.load(k1, AffineExpr::var(j));
+        let p = r.bin(Opcode::Mul, a, b);
+        let acc = r.reduce(Opcode::Add, p, j);
+        r.store(out, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        let kernel = k.build().unwrap();
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &kernel,
+            &TransformConfig {
+                stream_join: true,
+                ..TransformConfig::fallback()
+            },
+            &adg.features(),
+        )
+        .unwrap();
+        let result = schedule(&adg, &ck, &SchedulerConfig { max_iters: 40, ..Default::default() });
+        assert!(!result.is_legal());
+        assert!(result.eval.unplaced > 0);
+    }
+
+    #[test]
+    fn two_concurrent_regions_schedule() {
+        // Producer-consumer kernel: both regions share the fabric.
+        let mut k = KernelBuilder::new("pc");
+        let a = k.array("a", BitWidth::B64, 64, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 64, MemClass::MainMemory);
+        let d = k.array("d", BitWidth::B64, 64, MemClass::MainMemory);
+        let mut r0 = k.region("produce", 1.0);
+        let _o = r0.for_loop(TripCount::fixed(8), false);
+        let j0 = r0.for_loop(TripCount::fixed(64), true);
+        let va = r0.load(a, AffineExpr::var(j0));
+        let acc = r0.reduce(Opcode::Add, va, j0);
+        r0.yield_value(acc);
+        let r0i = k.finish_region(r0);
+        let mut r1 = k.region("consume", 1.0);
+        let _o1 = r1.for_loop(TripCount::fixed(8), false);
+        let j1 = r1.for_loop(TripCount::fixed(64), true);
+        let v = r1.consume(r0i, 0);
+        let vb = r1.load(b, AffineExpr::var(j1));
+        let p = r1.bin(Opcode::Mul, v, vb);
+        r1.store(d, AffineExpr::var(j1), p);
+        k.finish_region(r1);
+        let kernel = k.build().unwrap();
+
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &kernel,
+            &TransformConfig {
+                forward: true,
+                ..TransformConfig::fallback()
+            },
+            &adg.features(),
+        )
+        .unwrap();
+        let result = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(result.is_legal(), "eval: {:?}", result.eval);
+        assert_eq!(result.eval.regions.len(), 2);
+    }
+}

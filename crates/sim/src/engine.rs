@@ -1,0 +1,457 @@
+//! The cycle-by-cycle execution engine.
+//!
+//! Each pipeline group of regions is simulated jointly: every cycle the
+//! control core issues stream commands, the memories arbitrate line/bank
+//! requests into port FIFOs, and each region's dataflow fabric fires when
+//! its operands are buffered, its outputs have space, its initiation
+//! interval has elapsed, and its recurrences allow.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dsagen_adg::{Adg, CtrlSpec, NodeId, NodeKind};
+use dsagen_dfg::{CompiledKernel, CompiledRegion, StreamDir, StreamSource};
+use dsagen_scheduler::{Evaluation, Problem, Schedule};
+
+use crate::{SimConfig, SimReport, StallBreakdown};
+
+/// Effective fraction of banks usable by random indirect traffic (expected
+/// distinct banks hit by b uniform requests ≈ 1 − 1/e).
+const BANK_EFFICIENCY: f64 = 0.65;
+
+/// Fixed memory response latency before the first element of a stream
+/// command lands in its port FIFO.
+const MEM_LATENCY: u64 = 12;
+
+/// Floating-point slack below which stream element counts are treated as
+/// exhausted (fractional per-firing accounting leaves residues).
+const EPS: f64 = 1e-6;
+
+struct StreamState {
+    /// Elements still to deliver/drain across the whole region execution.
+    remaining: f64,
+    /// Elements buffered in the port FIFO (fabric side).
+    fifo: f64,
+    /// FIFO capacity in elements.
+    fifo_cap: f64,
+    /// Elements consumed (reads) / produced (writes) per firing.
+    per_firing: f64,
+    /// Elements left before the next re-issue pause.
+    until_reissue: f64,
+    /// Elements per command (re-issue granularity).
+    per_command: f64,
+    /// Whether the initial command has been issued and the memory latency
+    /// elapsed.
+    active_at: u64,
+    /// Memory this stream is bound to (None for forwarded / control-core).
+    mem: Option<NodeId>,
+    /// Whether the stream pays per-element (strided/indirect) or per-line.
+    elems_per_cycle: f64,
+    /// Read (memory→fabric) or write.
+    is_read: bool,
+    /// Served by the control core element-by-element.
+    ctrl_fed: bool,
+}
+
+struct RegionState {
+    firings_left: f64,
+    next_fire: f64,
+    ii: f64,
+    rec_gate: f64,
+    fired: u64,
+    done_at: Option<u64>,
+    streams: Vec<StreamState>,
+    /// The region cannot complete before the control core has executed its
+    /// scalar fallback work (1 op/cycle).
+    ctrl_floor: u64,
+}
+
+/// Simulates one kernel version end to end.
+#[must_use]
+pub fn simulate(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> SimReport {
+    let problem = Problem::new(adg, kernel);
+    let stream_mems = schedule.stream_memories(&problem);
+    let ctrl = control_spec(adg);
+
+    let mut total_cycles = u64::from(config_path_len); // configuration load
+    let mut region_cycles = vec![0u64; kernel.regions.len()];
+    let mut firings = vec![0u64; kernel.regions.len()];
+    let mut active_cycles = vec![0u64; kernel.regions.len()];
+    let mut stalls = StallBreakdown::default();
+
+    // Partition regions into pipeline groups.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current = vec![0usize];
+    for i in 0..kernel.regions.len().saturating_sub(1) {
+        if kernel.regions[i].pipelined_with_next {
+            current.push(i + 1);
+        } else {
+            groups.push(std::mem::take(&mut current));
+            current = vec![i + 1];
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+
+    for (gi, group) in groups.iter().enumerate() {
+        let cycles = simulate_group(
+            adg,
+            kernel,
+            eval,
+            &stream_mems,
+            &ctrl,
+            group,
+            cfg,
+            &mut region_cycles,
+            &mut firings,
+            &mut active_cycles,
+            &mut stalls,
+        );
+        total_cycles += cycles;
+        if gi + 1 < groups.len() {
+            total_cycles += 64; // barrier + fence drain between groups
+        }
+    }
+
+    let total_insts: f64 = kernel
+        .regions
+        .iter()
+        .map(|r| r.dfg.inst_count() as f64 * r.instances)
+        .sum();
+    SimReport {
+        cycles: total_cycles,
+        region_cycles,
+        firings,
+        active_cycles,
+        ipc: total_insts / total_cycles.max(1) as f64,
+        stalls,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_group(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    eval: &Evaluation,
+    stream_mems: &BTreeMap<(usize, bool, usize), NodeId>,
+    ctrl: &CtrlSpec,
+    group: &[usize],
+    cfg: &SimConfig,
+    region_cycles: &mut [u64],
+    firings: &mut [u64],
+    active_cycles: &mut [u64],
+    stalls: &mut StallBreakdown,
+) -> u64 {
+    // Build per-region state.
+    let mut regions: Vec<(usize, RegionState)> = group
+        .iter()
+        .map(|&ri| {
+            (
+                ri,
+                region_state(adg, &kernel.regions[ri], eval.regions.get(ri), ri, stream_mems),
+            )
+        })
+        .collect();
+
+    // The control core issues every stream command up front, one at a time.
+    let mut issue_cursor = 0u64;
+    for (_, rs) in regions.iter_mut() {
+        for s in rs.streams.iter_mut() {
+            issue_cursor += u64::from(ctrl.command_issue_cycles);
+            s.active_at = issue_cursor + MEM_LATENCY;
+        }
+    }
+
+    let mut cycle = 0u64;
+    while cycle < cfg.max_cycles {
+        let all_done = regions.iter().all(|(_, r)| r.done_at.is_some());
+        if all_done {
+            break;
+        }
+        cycle += 1;
+
+        // ---- memory arbitration: each memory serves one line request (or
+        // a bank-parallel gather batch) per cycle, round-robin over the
+        // streams bound to it.
+        let mut mem_budget: HashMap<NodeId, f64> = HashMap::new();
+        for (_, rs) in regions.iter_mut() {
+            for s in rs.streams.iter_mut() {
+                if s.remaining <= EPS || cycle < s.active_at {
+                    continue;
+                }
+                let Some(mem) = s.mem else {
+                    // Forwarded streams move without memory involvement,
+                    // but writes can only drain what the fabric produced
+                    // and reads only fill available FIFO space.
+                    if !s.ctrl_fed {
+                        let amount = s.remaining.min(s.elems_per_cycle).min(if s.is_read {
+                            (s.fifo_cap - s.fifo).max(0.0)
+                        } else {
+                            s.fifo
+                        });
+                        if amount > 0.0 {
+                            deliver(s, amount);
+                        }
+                    }
+                    continue;
+                };
+                let budget = mem_budget.entry(mem).or_insert(1.0);
+                if *budget <= 0.0 {
+                    stalls.memory += 1;
+                    continue;
+                }
+                let amount = s
+                    .remaining
+                    .min(s.elems_per_cycle)
+                    .min(if s.is_read {
+                        (s.fifo_cap - s.fifo).max(0.0)
+                    } else {
+                        s.fifo // writes drain what the fabric produced
+                    });
+                if amount > 0.0 {
+                    *budget -= 1.0;
+                    deliver(s, amount);
+                }
+            }
+        }
+
+        // ---- control core: scalar fallback work feeds ControlCore
+        // streams at the scalar rate (their `elems_per_cycle` was derived
+        // from the region's total control work).
+        for (_, rs) in regions.iter_mut() {
+            for s in rs.streams.iter_mut() {
+                if s.ctrl_fed && s.remaining > EPS && cycle >= s.active_at {
+                    let amount = s.remaining.min(s.elems_per_cycle).min(if s.is_read {
+                        (s.fifo_cap - s.fifo).max(0.0)
+                    } else {
+                        s.fifo
+                    });
+                    if amount > 0.0 {
+                        deliver(s, amount);
+                    } else {
+                        stalls.ctrl += 1;
+                    }
+                }
+            }
+        }
+
+        // ---- fabric firing.
+        for (ri, rs) in regions.iter_mut() {
+            if rs.done_at.is_some() {
+                continue;
+            }
+            if rs.firings_left <= 0.0 {
+                // Drain: done once write streams are empty and the control
+                // core has retired its scalar fallback work.
+                // A write FIFO may hold a sub-element residue when the
+                // rounded firing count slightly over-produces; tolerate it.
+                let drained = rs
+                    .streams
+                    .iter()
+                    .all(|s| s.is_read || (s.remaining <= EPS && s.fifo <= 0.01));
+                if drained && cycle >= rs.ctrl_floor {
+                    rs.done_at = Some(cycle);
+                    region_cycles[*ri] = cycle;
+                }
+                continue;
+            }
+            if (cycle as f64) < rs.next_fire {
+                stalls.ii += 1;
+                continue;
+            }
+            // Operand availability & output space.
+            let inputs_ready = rs
+                .streams
+                .iter()
+                .filter(|s| s.is_read)
+                .all(|s| s.fifo + 1e-9 >= s.firing_need());
+            let outputs_ready = rs
+                .streams
+                .iter()
+                .filter(|s| !s.is_read)
+                .all(|s| s.fifo_cap - s.fifo + 1e-9 >= s.per_firing);
+            if !inputs_ready {
+                stalls.operands += 1;
+                continue;
+            }
+            if !outputs_ready {
+                stalls.backpressure += 1;
+                continue;
+            }
+            // Fire one instance.
+            for s in rs.streams.iter_mut() {
+                if s.is_read {
+                    let need = s.firing_need();
+                    s.fifo = (s.fifo - need).max(0.0);
+                } else {
+                    s.fifo += s.per_firing;
+                }
+            }
+            rs.firings_left -= 1.0;
+            rs.fired += 1;
+            firings[*ri] += 1;
+            active_cycles[*ri] += 1;
+            rs.next_fire = cycle as f64 + rs.ii.max(rs.rec_gate);
+        }
+    }
+
+    for (ri, rs) in &regions {
+        if rs.done_at.is_none() {
+            region_cycles[*ri] = cycle;
+        }
+    }
+    cycle
+}
+
+impl StreamState {
+    /// Elements a firing needs from this stream right now: the nominal
+    /// per-firing amount, capped by what the stream can still supply (so a
+    /// fractional final firing does not deadlock on residue).
+    fn firing_need(&self) -> f64 {
+        self.per_firing.min(self.fifo + self.remaining)
+    }
+}
+
+fn deliver(s: &mut StreamState, amount: f64) {
+    if s.is_read {
+        s.fifo = (s.fifo + amount).min(s.fifo_cap);
+    } else {
+        s.fifo = (s.fifo - amount).max(0.0);
+    }
+    s.remaining -= amount;
+    if s.remaining <= EPS {
+        s.remaining = 0.0;
+    }
+    if s.fifo <= EPS {
+        s.fifo = 0.0;
+    }
+    s.until_reissue -= amount;
+    if s.until_reissue <= EPS && s.remaining > EPS {
+        // Re-issue pause: the next command's latency applies. This is where
+        // command-heavy patterns (many short streams) lose time that the
+        // analytical model's max() formulation partially hides (§VIII-B:
+        // the model "does not yet capture the performance impact of
+        // excessive control instructions").
+        s.until_reissue = s.per_command;
+        s.active_at += MEM_LATENCY / 2;
+    }
+}
+
+fn region_state(
+    adg: &Adg,
+    region: &CompiledRegion,
+    eval: Option<&dsagen_scheduler::RegionEval>,
+    ri: usize,
+    stream_mems: &BTreeMap<(usize, bool, usize), NodeId>,
+) -> RegionState {
+    let instances = region.instances.max(1.0);
+    let (ii, mismatch, rec_lats) = match eval {
+        Some(e) => (e.max_ii, e.mismatch_excess, e.recurrence_latencies.clone()),
+        None => (1.0, 0.0, vec![]),
+    };
+    let rec_gate = region
+        .dfg
+        .recurrences()
+        .iter()
+        .zip(rec_lats.iter().chain(std::iter::repeat(&1.0)))
+        .map(|(rec, lat)| lat / rec.independent_chains.max(1.0))
+        .fold(1.0, f64::max);
+
+    let mut streams = Vec::new();
+    for (is_input, s) in region
+        .in_streams
+        .iter()
+        .map(|s| (true, s))
+        .chain(region.out_streams.iter().map(|s| (false, s)))
+    {
+        if !s.to_fabric && is_input {
+            // Index streams are folded into their memory's budget via the
+            // data stream's per-element service; skip explicit state.
+            continue;
+        }
+        let total = s.pattern.total_elems();
+        let mem = stream_mems.get(&(ri, is_input, s.port)).copied();
+        let ctrl_fed = matches!(s.source, StreamSource::ControlCore);
+        let elems_per_cycle = match (&s.source, mem) {
+            (StreamSource::ControlCore, _) => {
+                // The core spreads its scalar work across the elements it
+                // must feed: total elements / total scalar ops.
+                (total / region.ctrl_ops.max(1.0)).min(1.0).max(1e-6)
+            }
+            (StreamSource::Memory(_), Some(m)) => {
+                if s.pattern.indirect || s.dir == StreamDir::AtomicUpdate {
+                    indirect_rate(adg, m)
+                } else if s.pattern.stride_bytes.unsigned_abs() as u32 == s.elem_bytes
+                    || mem_coalesces(adg, m)
+                {
+                    64.0 / f64::from(s.elem_bytes) // one line per cycle
+                } else if s.pattern.stride_bytes == 0 {
+                    f64::from(s.lanes.max(1)) * 4.0
+                } else {
+                    // Strided: one lane-group request per cycle (the
+                    // group's lanes are consecutive elements).
+                    f64::from(s.lanes.max(1))
+                }
+            }
+            _ => f64::from(s.lanes.max(1)) * 2.0,
+        };
+        streams.push(StreamState {
+            remaining: total,
+            fifo: 0.0,
+            fifo_cap: (f64::from(s.lanes.max(1)) * 16.0).max(16.0),
+            per_firing: total / instances,
+            until_reissue: s.pattern.elems_per_command,
+            per_command: s.pattern.elems_per_command,
+            active_at: 0,
+            mem: if matches!(s.source, StreamSource::Memory(_)) {
+                mem
+            } else {
+                None
+            },
+            elems_per_cycle,
+            is_read: is_input,
+            ctrl_fed,
+        });
+    }
+
+    RegionState {
+        firings_left: instances.round(),
+        next_fire: 0.0,
+        ii: (ii + mismatch).max(1.0),
+        rec_gate,
+        fired: 0,
+        done_at: None,
+        streams,
+        ctrl_floor: region.ctrl_ops.ceil() as u64,
+    }
+}
+
+/// Refines the bank-parallel service rate for indirect streams using the
+/// bound memory's actual bank count.
+pub(crate) fn indirect_rate(adg: &Adg, mem: NodeId) -> f64 {
+    match adg.kind(mem) {
+        Ok(NodeKind::Memory(spec)) => f64::from(spec.banks.max(1)) * BANK_EFFICIENCY,
+        _ => 1.0,
+    }
+}
+
+/// Whether a memory's controller coalesces strided requests.
+fn mem_coalesces(adg: &Adg, mem: NodeId) -> bool {
+    matches!(adg.kind(mem), Ok(NodeKind::Memory(spec)) if spec.controllers.coalescing)
+}
+
+fn control_spec(adg: &Adg) -> CtrlSpec {
+    adg.control()
+        .and_then(|c| match adg.kind(c) {
+            Ok(NodeKind::Control(spec)) => Some(*spec),
+            _ => None,
+        })
+        .unwrap_or_default()
+}

@@ -1,0 +1,54 @@
+//! Hardware/software codesign: explore the accelerator design space for
+//! the DenseNN suite (convolution + pooling + classifier), starting from
+//! the paper's 5×4 full-capability mesh (§VIII-B).
+//!
+//! Run with: `cargo run --release -p dsagen --example codesign_nn`
+
+use dsagen::prelude::*;
+
+fn main() {
+    let initial = dsagen::adg::presets::dse_initial();
+    let kernels = dsagen::workloads::suite_kernels(dsagen::workloads::Suite::DenseNN);
+    println!(
+        "initial hardware: {} ({} PEs)",
+        initial,
+        initial.features().total_pes()
+    );
+    println!("workloads: conv, pool, classifier (DenseNN suite)\n");
+
+    let cfg = DseConfig {
+        max_iters: 60,
+        patience: 30,
+        sched_iters: 60,
+        max_unroll: 4,
+        ..DseConfig::default()
+    };
+    let result = explore(initial, &kernels, cfg);
+
+    println!("iter  area(mm^2)  power(mW)  objective   accepted");
+    for rec in result.trace.iter().step_by(5) {
+        println!(
+            "{:>4}  {:>9.3}  {:>9.1}  {:>9.3}   {}",
+            rec.iter, rec.area_mm2, rec.power_mw, rec.objective, rec.accepted
+        );
+    }
+
+    println!(
+        "\ninitial: {:.3} mm^2 / {:.1} mW, objective {:.3}",
+        result.initial.cost.area_mm2, result.initial.cost.power_mw, result.initial.objective
+    );
+    println!(
+        "final  : {:.3} mm^2 / {:.1} mW, objective {:.3}",
+        result.best.cost.area_mm2, result.best.cost.power_mw, result.best.objective
+    );
+    println!(
+        "saved {:.0}% area, improved the perf^2/mm^2 objective {:.1}x",
+        100.0 * result.area_saving().max(0.0),
+        result.objective_gain()
+    );
+    println!(
+        "final design: {} PEs, {} switches",
+        result.best_adg.pes().count(),
+        result.best_adg.switches().count()
+    );
+}

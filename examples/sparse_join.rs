@@ -1,0 +1,54 @@
+//! Control-dependent memory access: run the sorted-key database join on
+//! SPU-style hardware (dynamic PEs with stream-join) versus Softbrain
+//! (static PEs, scalar fallback), showing why the stream-join
+//! transformation is a *modular* feature (§IV-E).
+//!
+//! Run with: `cargo run --release -p dsagen --example sparse_join`
+
+use dsagen::prelude::*;
+use dsagen::sim::{simulate, SimConfig};
+
+fn run_on(adg: &Adg, kernel: &dsagen::dfg::Kernel) -> (u64, bool, u16) {
+    let compiled =
+        dsagen::compile(adg, kernel, &CompileOptions::default()).expect("join always compiles");
+    let report = simulate(
+        adg,
+        &compiled.version,
+        &compiled.schedule,
+        &compiled.eval,
+        compiled.config_path_len,
+        &SimConfig::default(),
+    );
+    (
+        report.cycles,
+        compiled.version.config.stream_join,
+        compiled.version.config.unroll,
+    )
+}
+
+fn main() {
+    let kernel = dsagen::workloads::sparse::join();
+    println!("kernel: sorted-key join, 768 x 2 keys, ~33% match ratio\n");
+
+    let spu = dsagen::adg::presets::spu();
+    let (spu_cycles, spu_join, _) = run_on(&spu, &kernel);
+    println!(
+        "SPU        : {:>8} cycles  (stream-join transformation used: {})",
+        spu_cycles, spu_join
+    );
+
+    let softbrain = dsagen::adg::presets::softbrain();
+    let (soft_cycles, soft_join, _) = run_on(&softbrain, &kernel);
+    println!(
+        "Softbrain  : {:>8} cycles  (stream-join transformation used: {})",
+        soft_cycles, soft_join
+    );
+
+    println!(
+        "\nThe dynamic-scheduled, stream-join-capable fabric wins {:.1}x:",
+        soft_cycles as f64 / spu_cycles as f64
+    );
+    println!("the static fabric must fall back to running the two-pointer merge");
+    println!("on the control core (§IV-C scalar fallback), while SPU's PEs pop");
+    println!("the lesser key in hardware every cycle (§IV-E, Fig 8).");
+}

@@ -1,0 +1,135 @@
+//! Cross-product test: the five §VII target accelerators each run a
+//! representative workload slice, exercising the modular compiler's
+//! feature gating on real topologies.
+
+use dsagen::prelude::*;
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        max_unroll: 4,
+        scheduler: SchedulerConfig {
+            max_iters: 200,
+            ..SchedulerConfig::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+fn accelerators() -> Vec<Adg> {
+    vec![
+        dsagen::adg::presets::softbrain(),
+        dsagen::adg::presets::maeri(),
+        dsagen::adg::presets::triggered(),
+        dsagen::adg::presets::spu(),
+        dsagen::adg::presets::revel(),
+    ]
+}
+
+#[test]
+fn dense_mm_maps_on_every_accelerator() {
+    let kernel = dsagen::workloads::polybench::mm();
+    for adg in accelerators() {
+        let c = dsagen::compile(&adg, &kernel, &opts())
+            .unwrap_or_else(|e| panic!("mm on {}: {e}", adg.name()));
+        assert!(c.eval.feasible, "mm infeasible on {}", adg.name());
+        assert!(c.perf.cycles > 0.0);
+    }
+}
+
+#[test]
+fn fir_maps_on_every_accelerator() {
+    let kernel = dsagen::workloads::dsp::centro_fir();
+    for adg in accelerators() {
+        let c = dsagen::compile(&adg, &kernel, &opts())
+            .unwrap_or_else(|e| panic!("fir on {}: {e}", adg.name()));
+        assert!(c.eval.feasible, "fir infeasible on {}", adg.name());
+    }
+}
+
+#[test]
+fn histogram_maps_everywhere_but_only_spu_gets_atomics() {
+    let kernel = dsagen::workloads::sparse::histogram();
+    for adg in accelerators() {
+        let c = dsagen::compile(&adg, &kernel, &opts())
+            .unwrap_or_else(|e| panic!("histogram on {}: {e}", adg.name()));
+        let has_atomic_hw = adg.features().atomic_update;
+        assert_eq!(
+            c.version.config.atomic_update,
+            has_atomic_hw,
+            "atomic transformation gating wrong on {}",
+            adg.name()
+        );
+    }
+}
+
+#[test]
+fn join_gating_follows_stream_join_capability() {
+    let kernel = dsagen::workloads::sparse::join();
+    for adg in accelerators() {
+        let c = dsagen::compile(&adg, &kernel, &opts())
+            .unwrap_or_else(|e| panic!("join on {}: {e}", adg.name()));
+        let capable = adg.features().stream_join_pes > 0;
+        assert_eq!(
+            c.version.config.stream_join,
+            capable,
+            "stream-join gating wrong on {}",
+            adg.name()
+        );
+    }
+}
+
+#[test]
+fn shared_pe_fabrics_absorb_outer_loop_work() {
+    // qr has outer-rate sqrt/div work. On Triggered Instructions (shared
+    // PEs) it must map; the chosen version's schedule is legal.
+    let kernel = dsagen::workloads::dsp::qr();
+    let triggered = dsagen::adg::presets::triggered();
+    let c = dsagen::compile(&triggered, &kernel, &opts()).unwrap();
+    assert!(c.eval.feasible);
+    // The multiplexed fabric tolerates more instructions than PEs.
+    let insts = c.version.inst_count();
+    assert!(insts > 0);
+}
+
+#[test]
+fn every_accelerator_reports_distinct_costs() {
+    let model = dsagen::model::AreaPowerModel::default();
+    let mut areas: Vec<(String, f64)> = accelerators()
+        .iter()
+        .map(|a| (a.name().to_string(), model.estimate_adg(a).area_mm2))
+        .collect();
+    areas.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for w in areas.windows(2) {
+        assert!(
+            (w[1].1 - w[0].1).abs() > 1e-6,
+            "{} and {} have identical area",
+            w[0].0,
+            w[1].0
+        );
+    }
+}
+
+#[test]
+fn plasticine_and_tabla_run_dense_kernels() {
+    // The §III-C approximation examples: both should host the regular
+    // PolyBench matvec.
+    let kernel = dsagen::workloads::polybench::mvt();
+    for adg in [
+        dsagen::adg::presets::plasticine(),
+        dsagen::adg::presets::tabla(),
+    ] {
+        let c = dsagen::compile(&adg, &kernel, &opts())
+            .unwrap_or_else(|e| panic!("mvt on {}: {e}", adg.name()));
+        assert!(c.eval.feasible, "mvt infeasible on {}", adg.name());
+    }
+}
+
+#[test]
+fn tabla_absorbs_many_instructions_on_temporal_pes() {
+    // 16 shared PEs × 8 slots: stencil-2d's 17 instructions fit even
+    // though there are only 16 PEs.
+    let adg = dsagen::adg::presets::tabla();
+    let kernel = dsagen::workloads::machsuite::stencil2d();
+    let c = dsagen::compile(&adg, &kernel, &opts()).expect("temporal PEs absorb the graph");
+    assert!(c.version.inst_count() >= 17);
+}

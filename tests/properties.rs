@@ -1,0 +1,215 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants: ADG validity under mutation, affine-expression algebra,
+//! bitstream roundtrips, configuration-path coverage, and stream-pattern
+//! accounting.
+
+use dsagen::adg::{presets, Adg, BitWidth, OpSet, Opcode};
+use dsagen::dfg::{AffineExpr, LoopVar, StreamPattern, TripCount};
+use dsagen::hwgen::{generate_config_paths, Bitstream, InstrConfig, NodeConfig, RouteConfig, SyncConfig};
+use proptest::prelude::*;
+
+proptest! {
+    // Structural properties are cheap; a moderate case count keeps the
+    // suite fast in debug builds while covering wide input ranges.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bitwidth_accepts_exactly_powers_of_two(bits in 0u16..=u16::MAX) {
+        let ok = bits != 0 && bits.is_power_of_two() && bits <= 4096;
+        prop_assert_eq!(BitWidth::new(bits).is_ok(), ok);
+    }
+
+    #[test]
+    fn affine_eval_is_linear(
+        c1 in -100i64..100, k1 in -8i64..8,
+        c2 in -100i64..100, k2 in -8i64..8,
+        x in -50i64..50, y in -50i64..50,
+    ) {
+        let a = AffineExpr::var(LoopVar(0)).scaled(k1).plus_const(c1);
+        let b = AffineExpr::var(LoopVar(1)).scaled(k2).plus_const(c2);
+        let sum = a.clone().plus(&b);
+        let vals = [x, y];
+        prop_assert_eq!(sum.eval(&vals), a.eval(&vals) + b.eval(&vals));
+        let scaled = a.clone().scaled(3);
+        prop_assert_eq!(scaled.eval(&vals), 3 * a.eval(&vals));
+    }
+
+    #[test]
+    fn affine_stride_matches_finite_difference(
+        k0 in -8i64..8, k1 in -8i64..8, c in -100i64..100,
+        x in -10i64..10, y in -10i64..10,
+    ) {
+        let e = AffineExpr::var(LoopVar(0)).scaled(k0)
+            .plus(&AffineExpr::var(LoopVar(1)).scaled(k1))
+            .plus_const(c);
+        prop_assert_eq!(e.eval(&[x + 1, y]) - e.eval(&[x, y]), e.stride_of(LoopVar(0)));
+        prop_assert_eq!(e.eval(&[x, y + 1]) - e.eval(&[x, y]), e.stride_of(LoopVar(1)));
+    }
+
+    #[test]
+    fn trip_count_total_is_sum_of_ats(base in 0i64..64, per in -4i64..4, outer in 1u64..32) {
+        let t = TripCount::inductive(base, per);
+        let total: u64 = (0..outer as i64).map(|o| t.at(o)).sum();
+        prop_assert_eq!(t.total_over(outer), total);
+    }
+
+    #[test]
+    fn opset_union_intersection_laws(bits_a in any::<u64>(), bits_b in any::<u64>()) {
+        let a: OpSet = Opcode::ALL.iter().enumerate()
+            .filter(|(i, _)| bits_a & (1 << i) != 0).map(|(_, op)| *op).collect();
+        let b: OpSet = Opcode::ALL.iter().enumerate()
+            .filter(|(i, _)| bits_b & (1 << i) != 0).map(|(_, op)| *op).collect();
+        let u = a.union(b);
+        let i = a.intersection(b);
+        prop_assert!(u.is_superset(a) && u.is_superset(b));
+        prop_assert!(a.is_superset(i) && b.is_superset(i));
+        prop_assert_eq!(u.len() + i.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn stream_pattern_line_requests_bounded(
+        elems in 1.0f64..100_000.0,
+        stride in prop::sample::select(vec![0i64, 8, 16, 64, 512]),
+    ) {
+        let p = StreamPattern::linear(elems, stride);
+        let reqs = p.line_requests(64, 8);
+        // Never fewer than perfectly-coalesced, never more than per-element.
+        let coalesced = (elems * 8.0 / 64.0).ceil();
+        prop_assert!(reqs + 1e-9 >= coalesced.min(elems) || stride == 0);
+        prop_assert!(reqs <= elems + 1.0);
+    }
+
+    #[test]
+    fn mutations_preserve_adg_validity(seed in any::<u64>(), steps in 1usize..40) {
+        let mut adg = presets::dse_initial();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let used = OpSet::integer_alu().union(OpSet::floating_point());
+        for _ in 0..steps {
+            let _ = dsagen::dse::mutate(&mut adg, &mut rng, &used);
+        }
+        prop_assert!(adg.validate().is_ok());
+    }
+
+    #[test]
+    fn config_paths_cover_any_mesh(rows in 2usize..5, cols in 2usize..5, p in 1usize..6, seed in any::<u64>()) {
+        let pe = dsagen::adg::PeSpec::new(
+            dsagen::adg::Scheduling::Static,
+            dsagen::adg::Sharing::Dedicated,
+            OpSet::integer_alu(),
+        );
+        let adg: Adg = dsagen::adg::presets::mesh(&dsagen::adg::presets::MeshConfig::new("m", rows, cols, pe));
+        let configurable = adg.nodes().filter(|n| n.kind.is_configurable()).count();
+        let cp = generate_config_paths(&adg, p, seed);
+        prop_assert_eq!(cp.covered().len(), configurable);
+        prop_assert!(cp.longest() >= dsagen::hwgen::ConfigPaths::ideal(configurable, cp.paths.len()));
+    }
+
+    #[test]
+    fn bitstream_words_roundtrip_arbitrary_configs(
+        n_nodes in 1usize..8,
+        data in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 0..6),
+        sync_lanes in any::<u8>(),
+        sync_delay in 0u16..4096,
+    ) {
+        let mut bs = Bitstream::default();
+        for node in 0..n_nodes {
+            let mut cfg = NodeConfig::default();
+            for (op, a, b, c) in &data {
+                cfg.instrs.push(InstrConfig {
+                    opcode: *op,
+                    operands: [*a, *b, *c],
+                    delay: a.wrapping_add(*b),
+                    tag: *c,
+                });
+                cfg.routes.push(RouteConfig { in_port: *a, out_port: *b });
+            }
+            if node % 2 == 0 {
+                cfg.sync = Some(SyncConfig { lanes: sync_lanes, delay: sync_delay, group: 3 });
+            }
+            bs.configs.insert(dsagen::adg::NodeId::from_index(node), cfg);
+        }
+        let words = bs.to_words();
+        let decoded = Bitstream::from_words(&words).unwrap();
+        prop_assert_eq!(bs, decoded);
+    }
+
+    #[test]
+    fn removing_nodes_keeps_other_ids_stable(victims in prop::collection::vec(0usize..40, 1..8)) {
+        let mut adg = presets::softbrain();
+        let ids: Vec<_> = adg.pes().collect();
+        let mut removed = std::collections::HashSet::new();
+        for v in victims {
+            let id = ids[v % ids.len()];
+            if removed.insert(id) && adg.pes().count() > 1 {
+                let _ = adg.remove_node(id);
+            }
+        }
+        for node in adg.nodes() {
+            prop_assert!(adg.node(node.id()).is_some());
+        }
+        for id in removed {
+            prop_assert!(adg.node(id).is_none());
+        }
+    }
+}
+
+#[test]
+fn regression_model_underestimates_synthesis_by_a_few_percent() {
+    // The deterministic heart of Fig 15's validation claim.
+    let model = dsagen::model::AreaPowerModel::default();
+    for adg in [presets::softbrain(), presets::spu(), presets::dse_initial()] {
+        let est = model.estimate_adg(&adg);
+        let syn = dsagen::model::synthesize_adg(&adg);
+        let gap = (syn.area_mm2 - est.area_mm2) / syn.area_mm2;
+        assert!((0.0..0.12).contains(&gap), "{}: gap {gap}", adg.name());
+    }
+}
+
+proptest! {
+    // Heavy properties: each case runs real scheduling work, so keep the
+    // case count modest (they still cover plenty of seeds).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn text_format_roundtrips_mutated_graphs(seed in any::<u64>(), steps in 0usize..25) {
+        let mut adg = presets::spu();
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let used = OpSet::all();
+        for _ in 0..steps {
+            let _ = dsagen::dse::mutate(&mut adg, &mut rng, &used);
+        }
+        let rendered = dsagen::adg::text::to_text(&adg);
+        let parsed = dsagen::adg::text::from_text(&rendered)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(adg, parsed);
+    }
+
+    #[test]
+    fn repair_of_unchanged_hardware_never_regresses(seed in any::<u64>()) {
+        use dsagen::scheduler::{repair, schedule, SchedulerConfig};
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        let adg = presets::softbrain();
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .expect("compiles");
+        let cfg = SchedulerConfig { max_iters: 60, seed, ..SchedulerConfig::default() };
+        let first = schedule(&adg, &ck, &cfg);
+        let again = repair(&adg, &ck, first.schedule.clone(), &cfg);
+        prop_assert!(again.eval.objective <= first.eval.objective + 1e-9);
+        if first.is_legal() {
+            prop_assert!(again.is_legal());
+        }
+    }
+
+    #[test]
+    fn window_offset_detection(k0 in -8i64..8, c0 in -40i64..40, c1 in -40i64..40) {
+        use dsagen::dfg::{AffineExpr, LoopVar};
+        let a = AffineExpr::var(LoopVar(0)).scaled(k0).plus_const(c0);
+        let b = AffineExpr::var(LoopVar(0)).scaled(k0).plus_const(c1);
+        prop_assert_eq!(a.offset_from(&b), Some(c0 - c1));
+        if k0 != k0 + 1 {
+            let c = AffineExpr::var(LoopVar(0)).scaled(k0 + 1).plus_const(c1);
+            prop_assert_eq!(a.offset_from(&c), None);
+        }
+    }
+}
