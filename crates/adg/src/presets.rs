@@ -711,6 +711,219 @@ pub fn baseline_4x4(shared: bool, dynamic: bool, indirect: bool) -> Adg {
     adg
 }
 
+/// Plasticine (Prabhakar et al., ISCA 2017), approximated per §III-C:
+/// pattern-compute units (PCUs) are SIMD pipelines of statically-scheduled
+/// dedicated PEs with "no memory and a larger datapath"; pattern-memory
+/// units (PMUs) combine an address datapath with a banked scratchpad;
+/// scalar/vector FIFOs (sync elements) sit at unit boundaries. Nested
+/// parallelism is supported by letting the unit dataflow graphs
+/// communicate over the inter-unit switch fabric.
+#[must_use]
+pub fn plasticine() -> Adg {
+    let (mut adg, _main, _spad, inputs, outputs) = skeleton(
+        "plasticine",
+        MemSpec::scratchpad(32 << 10, 64).with_banks(4),
+        8,
+        4,
+        4,
+        16,
+    );
+    let ops = OpSet::integer_alu()
+        .union(OpSet::integer_mul())
+        .union(OpSet::floating_point());
+
+    // Inter-unit switch fabric: a 2×3 grid (PCU/PMU columns interleaved).
+    let (rows, cols) = (2usize, 3usize);
+    let mut grid = vec![vec![NodeId::from_index(0); cols]; rows];
+    for (r, row) in grid.iter_mut().enumerate() {
+        for (c, slot) in row.iter_mut().enumerate() {
+            *slot = adg.add_labeled(
+                crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
+                format!("gs{r}_{c}"),
+            );
+        }
+    }
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                adg.add_link(grid[r][c], grid[r][c + 1]).unwrap();
+                adg.add_link(grid[r][c + 1], grid[r][c]).unwrap();
+            }
+            if r + 1 < rows {
+                adg.add_link(grid[r][c], grid[r + 1][c]).unwrap();
+                adg.add_link(grid[r + 1][c], grid[r][c]).unwrap();
+            }
+        }
+    }
+
+    // Four PCUs: 4-stage SIMD pipelines behind vector FIFOs.
+    let pe = PeSpec::new(Scheduling::Static, Sharing::Dedicated, ops);
+    for u in 0..4usize {
+        let (r, c) = (u / 2, (u % 2) * 2); // grid columns 0 and 2
+        let entry = adg.add_labeled(
+            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
+            format!("pcu{u}_fifo"),
+        );
+        adg.add_link(grid[r][c], entry).unwrap();
+        let mut prev: Option<NodeId> = None;
+        for s in 0..4usize {
+            let stage = adg.add_labeled(
+                crate::NodeKind::Pe(pe.clone()),
+                format!("pcu{u}_s{s}"),
+            );
+            // Stage operands: pipeline predecessor + the entry FIFO + the
+            // local grid switch (cross-unit operands).
+            adg.add_link(entry, stage).unwrap();
+            adg.add_link(grid[r][c], stage).unwrap();
+            if let Some(p) = prev {
+                adg.add_link(p, stage).unwrap();
+            }
+            prev = Some(stage);
+        }
+        adg.add_link(prev.expect("four stages"), grid[r][c]).unwrap();
+    }
+
+    // Two PMUs: banked scratchpad + address-datapath PE in grid column 1.
+    let pmu_switches: Vec<NodeId> = grid.iter().take(2).map(|row| row[1]).collect();
+    for (u, &sw) in pmu_switches.iter().enumerate() {
+        let pmu_mem = adg.add_labeled(
+            crate::NodeKind::Memory(
+                MemSpec::scratchpad(16 << 10, 32)
+                    .with_banks(4)
+                    .with_controllers(MemControllers::linear_only()),
+            ),
+            format!("pmu{u}_mem"),
+        );
+        let addr_pe = adg.add_labeled(
+            crate::NodeKind::Pe(PeSpec::new(
+                Scheduling::Static,
+                Sharing::Dedicated,
+                OpSet::integer_alu().union(OpSet::integer_mul()),
+            )),
+            format!("pmu{u}_addr"),
+        );
+        let in_fifo = adg.add_labeled(
+            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
+            format!("pmu{u}_in"),
+        );
+        let out_fifo = adg.add_labeled(
+            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
+            format!("pmu{u}_out"),
+        );
+        adg.add_link(pmu_mem, in_fifo).unwrap();
+        adg.add_link(in_fifo, sw).unwrap();
+        adg.add_link(in_fifo, addr_pe).unwrap();
+        adg.add_link(sw, addr_pe).unwrap();
+        adg.add_link(addr_pe, sw).unwrap();
+        adg.add_link(sw, out_fifo).unwrap();
+        adg.add_link(out_fifo, pmu_mem).unwrap();
+        // The control core must reach the PMU memory for stream commands.
+        let ctrl = adg.control().expect("skeleton adds control");
+        adg.add_link(ctrl, pmu_mem).unwrap();
+    }
+
+    // Main-memory/scratchpad ports attach to the fabric edges.
+    for (i, sy) in inputs.iter().enumerate() {
+        adg.add_link(*sy, grid[i % rows][i % cols]).unwrap();
+    }
+    for (i, sy) in outputs.iter().enumerate() {
+        adg.add_link(grid[(i + 1) % rows][i % cols], *sy).unwrap();
+    }
+    adg
+}
+
+/// TABLA (Mahajan et al., HPCA 2016), approximated per §III-C: "a
+/// hierarchical mesh of static-scheduled temporal PEs, each with their own
+/// scratchpad. We could approximate TABLA if we decouple the scratchpad
+/// control from the PE datapath control" — so each cluster's scratchpad is
+/// a decoupled memory feeding the cluster through sync elements.
+#[must_use]
+pub fn tabla() -> Adg {
+    let (mut adg, _main, _spad, inputs, outputs) = skeleton(
+        "tabla",
+        MemSpec::scratchpad(8 << 10, 64),
+        6,
+        3,
+        4,
+        16,
+    );
+    // TABLA accelerates statistical ML training: multiply-accumulate on
+    // reals plus the usual ALU.
+    let ops = OpSet::integer_alu()
+        .union(OpSet::integer_mul())
+        .union(OpSet::floating_point());
+    let ctrl = adg.control().expect("skeleton adds control");
+
+    // Global bus: one spine of switches linking four clusters.
+    let spine: Vec<NodeId> = (0..2)
+        .map(|i| {
+            adg.add_labeled(
+                crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
+                format!("bus{i}"),
+            )
+        })
+        .collect();
+    // The global bus is wide: several parallel 64-bit lanes.
+    for _ in 0..3 {
+        adg.add_link(spine[0], spine[1]).unwrap();
+        adg.add_link(spine[1], spine[0]).unwrap();
+    }
+
+    for cl in 0..4usize {
+        // Per-cluster decoupled scratchpad.
+        let lmem = adg.add_labeled(
+            crate::NodeKind::Memory(MemSpec::scratchpad(2 << 10, 32)),
+            format!("cl{cl}_mem"),
+        );
+        adg.add_link(ctrl, lmem).unwrap();
+        let lsync = adg.add_labeled(
+            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(2)),
+            format!("cl{cl}_port"),
+        );
+        let osync = adg.add_labeled(
+            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(2)),
+            format!("cl{cl}_out"),
+        );
+        adg.add_link(lmem, lsync).unwrap();
+        adg.add_link(osync, lmem).unwrap();
+        // Cluster switch + four temporal (shared, static) PEs.
+        let csw = adg.add_labeled(
+            crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
+            format!("cl{cl}_sw"),
+        );
+        adg.add_link(lsync, csw).unwrap();
+        adg.add_link(csw, osync).unwrap();
+        let bus = spine[cl / 2];
+        for _ in 0..2 {
+            adg.add_link(csw, bus).unwrap();
+            adg.add_link(bus, csw).unwrap();
+        }
+        for p in 0..4usize {
+            let pe = adg.add_labeled(
+                crate::NodeKind::Pe(PeSpec::new(
+                    Scheduling::Static,
+                    Sharing::Shared {
+                        max_instructions: 8,
+                    },
+                    ops,
+                )),
+                format!("cl{cl}_pe{p}"),
+            );
+            adg.add_link(csw, pe).unwrap();
+            adg.add_link(csw, pe).unwrap();
+            adg.add_link(pe, csw).unwrap();
+        }
+    }
+
+    for (i, sy) in inputs.iter().enumerate() {
+        adg.add_link(*sy, spine[i % 2]).unwrap();
+    }
+    for (i, sy) in outputs.iter().enumerate() {
+        adg.add_link(spine[i % 2], *sy).unwrap();
+    }
+    adg
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,217 +1058,4 @@ mod tests {
             assert!(degree >= 2, "sync {sy} under-connected");
         }
     }
-}
-
-/// Plasticine (Prabhakar et al., ISCA 2017), approximated per §III-C:
-/// pattern-compute units (PCUs) are SIMD pipelines of statically-scheduled
-/// dedicated PEs with "no memory and a larger datapath"; pattern-memory
-/// units (PMUs) combine an address datapath with a banked scratchpad;
-/// scalar/vector FIFOs (sync elements) sit at unit boundaries. Nested
-/// parallelism is supported by letting the unit dataflow graphs
-/// communicate over the inter-unit switch fabric.
-#[must_use]
-pub fn plasticine() -> Adg {
-    let (mut adg, _main, _spad, inputs, outputs) = skeleton(
-        "plasticine",
-        MemSpec::scratchpad(32 << 10, 64).with_banks(4),
-        8,
-        4,
-        4,
-        16,
-    );
-    let ops = OpSet::integer_alu()
-        .union(OpSet::integer_mul())
-        .union(OpSet::floating_point());
-
-    // Inter-unit switch fabric: a 2×3 grid (PCU/PMU columns interleaved).
-    let (rows, cols) = (2usize, 3usize);
-    let mut grid = vec![vec![NodeId::from_index(0); cols]; rows];
-    for (r, row) in grid.iter_mut().enumerate() {
-        for (c, slot) in row.iter_mut().enumerate() {
-            *slot = adg.add_labeled(
-                crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
-                format!("gs{r}_{c}"),
-            );
-        }
-    }
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                adg.add_link(grid[r][c], grid[r][c + 1]).unwrap();
-                adg.add_link(grid[r][c + 1], grid[r][c]).unwrap();
-            }
-            if r + 1 < rows {
-                adg.add_link(grid[r][c], grid[r + 1][c]).unwrap();
-                adg.add_link(grid[r + 1][c], grid[r][c]).unwrap();
-            }
-        }
-    }
-
-    // Four PCUs: 4-stage SIMD pipelines behind vector FIFOs.
-    let pe = PeSpec::new(Scheduling::Static, Sharing::Dedicated, ops);
-    for u in 0..4usize {
-        let (r, c) = (u / 2, (u % 2) * 2); // grid columns 0 and 2
-        let entry = adg.add_labeled(
-            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
-            format!("pcu{u}_fifo"),
-        );
-        adg.add_link(grid[r][c], entry).unwrap();
-        let mut prev: Option<NodeId> = None;
-        for s in 0..4usize {
-            let stage = adg.add_labeled(
-                crate::NodeKind::Pe(pe.clone()),
-                format!("pcu{u}_s{s}"),
-            );
-            // Stage operands: pipeline predecessor + the entry FIFO + the
-            // local grid switch (cross-unit operands).
-            adg.add_link(entry, stage).unwrap();
-            adg.add_link(grid[r][c], stage).unwrap();
-            if let Some(p) = prev {
-                adg.add_link(p, stage).unwrap();
-            }
-            prev = Some(stage);
-        }
-        adg.add_link(prev.expect("four stages"), grid[r][c]).unwrap();
-    }
-
-    // Two PMUs: banked scratchpad + address-datapath PE in grid column 1.
-    for u in 0..2usize {
-        let pmu_mem = adg.add_labeled(
-            crate::NodeKind::Memory(
-                MemSpec::scratchpad(16 << 10, 32)
-                    .with_banks(4)
-                    .with_controllers(MemControllers::linear_only()),
-            ),
-            format!("pmu{u}_mem"),
-        );
-        let addr_pe = adg.add_labeled(
-            crate::NodeKind::Pe(PeSpec::new(
-                Scheduling::Static,
-                Sharing::Dedicated,
-                OpSet::integer_alu().union(OpSet::integer_mul()),
-            )),
-            format!("pmu{u}_addr"),
-        );
-        let in_fifo = adg.add_labeled(
-            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
-            format!("pmu{u}_in"),
-        );
-        let out_fifo = adg.add_labeled(
-            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(4)),
-            format!("pmu{u}_out"),
-        );
-        let sw = grid[u][1];
-        adg.add_link(pmu_mem, in_fifo).unwrap();
-        adg.add_link(in_fifo, sw).unwrap();
-        adg.add_link(in_fifo, addr_pe).unwrap();
-        adg.add_link(sw, addr_pe).unwrap();
-        adg.add_link(addr_pe, sw).unwrap();
-        adg.add_link(sw, out_fifo).unwrap();
-        adg.add_link(out_fifo, pmu_mem).unwrap();
-        // The control core must reach the PMU memory for stream commands.
-        let ctrl = adg.control().expect("skeleton adds control");
-        adg.add_link(ctrl, pmu_mem).unwrap();
-    }
-
-    // Main-memory/scratchpad ports attach to the fabric edges.
-    for (i, sy) in inputs.iter().enumerate() {
-        adg.add_link(*sy, grid[i % rows][i % cols]).unwrap();
-    }
-    for (i, sy) in outputs.iter().enumerate() {
-        adg.add_link(grid[(i + 1) % rows][i % cols], *sy).unwrap();
-    }
-    adg
-}
-
-/// TABLA (Mahajan et al., HPCA 2016), approximated per §III-C: "a
-/// hierarchical mesh of static-scheduled temporal PEs, each with their own
-/// scratchpad. We could approximate TABLA if we decouple the scratchpad
-/// control from the PE datapath control" — so each cluster's scratchpad is
-/// a decoupled memory feeding the cluster through sync elements.
-#[must_use]
-pub fn tabla() -> Adg {
-    let (mut adg, _main, _spad, inputs, outputs) = skeleton(
-        "tabla",
-        MemSpec::scratchpad(8 << 10, 64),
-        6,
-        3,
-        4,
-        16,
-    );
-    // TABLA accelerates statistical ML training: multiply-accumulate on
-    // reals plus the usual ALU.
-    let ops = OpSet::integer_alu()
-        .union(OpSet::integer_mul())
-        .union(OpSet::floating_point());
-    let ctrl = adg.control().expect("skeleton adds control");
-
-    // Global bus: one spine of switches linking four clusters.
-    let spine: Vec<NodeId> = (0..2)
-        .map(|i| {
-            adg.add_labeled(
-                crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
-                format!("bus{i}"),
-            )
-        })
-        .collect();
-    // The global bus is wide: several parallel 64-bit lanes.
-    for _ in 0..3 {
-        adg.add_link(spine[0], spine[1]).unwrap();
-        adg.add_link(spine[1], spine[0]).unwrap();
-    }
-
-    for cl in 0..4usize {
-        // Per-cluster decoupled scratchpad.
-        let lmem = adg.add_labeled(
-            crate::NodeKind::Memory(MemSpec::scratchpad(2 << 10, 32)),
-            format!("cl{cl}_mem"),
-        );
-        adg.add_link(ctrl, lmem).unwrap();
-        let lsync = adg.add_labeled(
-            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(2)),
-            format!("cl{cl}_port"),
-        );
-        let osync = adg.add_labeled(
-            crate::NodeKind::Sync(SyncSpec::new(8).with_lanes(2)),
-            format!("cl{cl}_out"),
-        );
-        adg.add_link(lmem, lsync).unwrap();
-        adg.add_link(osync, lmem).unwrap();
-        // Cluster switch + four temporal (shared, static) PEs.
-        let csw = adg.add_labeled(
-            crate::NodeKind::Switch(SwitchSpec::new(BitWidth::B64)),
-            format!("cl{cl}_sw"),
-        );
-        adg.add_link(lsync, csw).unwrap();
-        adg.add_link(csw, osync).unwrap();
-        let bus = spine[cl / 2];
-        for _ in 0..2 {
-            adg.add_link(csw, bus).unwrap();
-            adg.add_link(bus, csw).unwrap();
-        }
-        for p in 0..4usize {
-            let pe = adg.add_labeled(
-                crate::NodeKind::Pe(PeSpec::new(
-                    Scheduling::Static,
-                    Sharing::Shared {
-                        max_instructions: 8,
-                    },
-                    ops,
-                )),
-                format!("cl{cl}_pe{p}"),
-            );
-            adg.add_link(csw, pe).unwrap();
-            adg.add_link(csw, pe).unwrap();
-            adg.add_link(pe, csw).unwrap();
-        }
-    }
-
-    for (i, sy) in inputs.iter().enumerate() {
-        adg.add_link(*sy, spine[i % 2]).unwrap();
-    }
-    for (i, sy) in outputs.iter().enumerate() {
-        adg.add_link(spine[i % 2], *sy).unwrap();
-    }
-    adg
 }

@@ -270,12 +270,12 @@ pub fn from_text(text: &str) -> Result<Adg, ParseError> {
     // Materialize nodes with stable ids: fill gaps with tombstones.
     let max_id = declared.keys().copied().max().map_or(0, |m| m + 1);
     let mut added: Vec<Option<NodeId>> = vec![None; max_id];
-    for slot in 0..max_id {
+    for (slot, added_slot) in added.iter_mut().enumerate() {
         match declared.remove(&slot) {
             Some((kind, _)) => {
                 let id = adg.add_node(kind);
                 debug_assert_eq!(id.index(), slot);
-                added[slot] = Some(id);
+                *added_slot = Some(id);
             }
             None => {
                 // Tombstone: add-and-remove to burn the slot.

@@ -19,6 +19,7 @@
 //! | [`dse`] | `dsagen-dse` | §V design-space exploration |
 //! | [`hwgen`] | `dsagen-hwgen` | §VI hardware generation |
 //! | [`workloads`] | `dsagen-workloads` | §VII Table I benchmarks |
+//! | [`faults`] | `dsagen-faults` | fault injection & graceful degradation |
 //!
 //! This crate adds the top-level flows: [`compile`] (pick the best legal
 //! kernel version for a given ADG), [`generate`] (bitstream + config paths
@@ -53,6 +54,7 @@
 pub use dsagen_adg as adg;
 pub use dsagen_dfg as dfg;
 pub use dsagen_dse as dse;
+pub use dsagen_faults as faults;
 pub use dsagen_hwgen as hwgen;
 pub use dsagen_model as model;
 pub use dsagen_scheduler as scheduler;

@@ -136,9 +136,11 @@ impl KernelIdioms {
     /// Analyzes a kernel's source form.
     #[must_use]
     pub fn analyze(kernel: &Kernel) -> Self {
-        let mut idioms = KernelIdioms::default();
-        idioms.narrow_data =
-            !kernel.arrays.is_empty() && kernel.arrays.iter().all(|a| a.elem.bits() <= 32);
+        let mut idioms = KernelIdioms {
+            narrow_data: !kernel.arrays.is_empty()
+                && kernel.arrays.iter().all(|a| a.elem.bits() <= 32),
+            ..KernelIdioms::default()
+        };
         for region in &kernel.regions {
             idioms.has_join |= region.join_loop().is_some();
             idioms.has_indirect |= region.has_indirect_access();
@@ -322,8 +324,10 @@ mod tests {
 
     #[test]
     fn requirements_gate_on_features() {
-        let mut req = Requirements::default();
-        req.indirect_memory = true;
+        let mut req = Requirements {
+            indirect_memory: true,
+            ..Requirements::default()
+        };
         assert!(!req.satisfied_by(&presets::softbrain().features()));
         assert!(req.satisfied_by(&presets::spu().features()));
         req.stream_join_pes = 1;

@@ -1,12 +1,14 @@
 //! The iterative codesign loop (§V).
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use dsagen_adg::{Adg, FeatureSet, OpSet};
 use dsagen_dfg::{compile_kernel, enumerate_configs, CompiledKernel, Kernel};
 use dsagen_hwgen::generate_config_paths;
 use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
-use dsagen_scheduler::{repair, schedule, Schedule, SchedulerConfig};
+use dsagen_scheduler::{repair_with_escalation, schedule, Schedule, SchedulerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -33,6 +35,15 @@ pub struct DseConfig {
     /// Use schedule *repair* across steps (true) or re-map every schedule
     /// from scratch (false) — the Fig 11 comparison.
     pub use_repair: bool,
+    /// Wall-clock budget per candidate evaluation, in milliseconds. A step
+    /// that exceeds it is rejected with [`RejectReason::TimedOut`] and the
+    /// design reverted, so one pathological candidate cannot stall the
+    /// whole exploration. `None` disables the budget.
+    pub eval_budget_ms: Option<u64>,
+    /// Test hook: deliberately panic inside candidate evaluation at this
+    /// exploration step, to exercise the panic isolation without touching
+    /// library code. `None` (always, in production) disables it.
+    pub panic_at_iter: Option<u32>,
 }
 
 impl Default for DseConfig {
@@ -46,7 +57,43 @@ impl Default for DseConfig {
             power_budget_mw: 2000.0,
             max_unroll: 8,
             use_repair: true,
+            eval_budget_ms: None,
+            panic_at_iter: None,
         }
+    }
+}
+
+/// Why one exploration step's candidate design was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// Candidate evaluation panicked; the panic was caught, the design
+    /// reverted, and exploration continued.
+    Panicked,
+    /// Candidate evaluation exceeded [`DseConfig::eval_budget_ms`].
+    TimedOut,
+    /// The candidate blew the area or power budget (objective zeroed).
+    OverBudget,
+    /// Some kernel had no legal version on the candidate hardware.
+    Unmappable,
+    /// Evaluation succeeded but the objective did not improve on the best.
+    WorseObjective,
+    /// No mutation applied this step (all redraws failed), so there was no
+    /// candidate to evaluate.
+    NoMutation,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectReason::Panicked => "panicked",
+            RejectReason::TimedOut => "timed-out",
+            RejectReason::OverBudget => "over-budget",
+            RejectReason::Unmappable => "unmappable",
+            RejectReason::WorseObjective => "worse-objective",
+            RejectReason::NoMutation => "no-mutation",
+        };
+        f.write_str(s)
     }
 }
 
@@ -65,6 +112,10 @@ pub struct IterRecord {
     pub perf: f64,
     /// Whether this step's mutation was accepted.
     pub accepted: bool,
+    /// Why the step was rejected (`None` when accepted). Lets post-hoc
+    /// analysis distinguish "evaluated worse" from "crashed / timed out /
+    /// infeasible" candidates.
+    pub rejected_reason: Option<RejectReason>,
 }
 
 /// Final result of an exploration run.
@@ -194,7 +245,13 @@ impl Explorer {
                 let key = (ki, vi);
                 let result = if self.cfg.use_repair {
                     match self.schedules.remove(&key) {
-                        Some(prev) => repair(&self.adg, version, prev, &sched_cfg),
+                        // Repair with bounded retry-with-escalation: a
+                        // fault- or mutation-degraded graph gets a second,
+                        // doubled-budget attempt before the version is
+                        // written off as illegal.
+                        Some(prev) => {
+                            repair_with_escalation(&self.adg, version, &prev, &sched_cfg, 2)
+                        }
                         None => schedule(&self.adg, version, &sched_cfg),
                     }
                 } else {
@@ -286,10 +343,54 @@ impl Explorer {
         }
     }
 
+    /// Evaluates the current (already mutated) candidate behind a panic
+    /// shield and budget checks.
+    ///
+    /// A panic anywhere in the compile → schedule → model chain is caught
+    /// and converted into [`RejectReason::Panicked`]; the caller reverts to
+    /// the backed-up design, so one pathological candidate can never abort
+    /// the exploration. Evaluations that outrun
+    /// [`DseConfig::eval_budget_ms`] are likewise rejected.
+    fn evaluate_candidate(&mut self, iter: u32) -> Result<DsePoint, RejectReason> {
+        let started = Instant::now();
+        let forced_panic = self.cfg.panic_at_iter;
+        let point = catch_unwind(AssertUnwindSafe(|| {
+            if forced_panic == Some(iter) {
+                panic!("dse test hook: forced panic at iteration {iter}");
+            }
+            self.evaluate()
+        }))
+        .map_err(|_| RejectReason::Panicked)?;
+        if let Some(budget_ms) = self.cfg.eval_budget_ms {
+            if started.elapsed() > Duration::from_millis(budget_ms) {
+                return Err(RejectReason::TimedOut);
+            }
+        }
+        Ok(point)
+    }
+
+    /// Why an evaluated-but-not-accepted candidate lost.
+    fn classify_rejection(&self, point: &DsePoint) -> RejectReason {
+        if point.cost.area_mm2 > self.cfg.area_budget_mm2
+            || point.cost.power_mw > self.cfg.power_budget_mw
+        {
+            RejectReason::OverBudget
+        } else if point.per_kernel.iter().any(Option::is_none) {
+            RejectReason::Unmappable
+        } else {
+            RejectReason::WorseObjective
+        }
+    }
+
     /// Runs the full exploration loop. Starts from the current ADG,
     /// mutates, evaluates with repaired schedules, accepts improvements,
     /// reverts regressions (§V step 2e), and stops after `patience` steps
     /// without improvement or `max_iters` total.
+    ///
+    /// Candidate evaluation is panic-isolated and time-budgeted (see
+    /// [`Explorer::evaluate_candidate`]); every rejected step carries a
+    /// [`RejectReason`] in its [`IterRecord`], so a run always completes
+    /// with a full trace even if individual candidates crash.
     pub fn run(&mut self) -> DseResult {
         let initial = self.evaluate();
         let mut trace = vec![IterRecord {
@@ -299,6 +400,7 @@ impl Explorer {
             objective: initial.objective,
             perf: initial.perf,
             accepted: true,
+            rejected_reason: None,
         }];
         // Opening trim, then re-evaluate: this is the loop's baseline.
         self.trim_redundant_features();
@@ -315,6 +417,7 @@ impl Explorer {
             objective: best.objective,
             perf: best.perf,
             accepted: true,
+            rejected_reason: None,
         });
         let mut best_adg = self.adg.clone();
         let mut best_schedules = self.schedules.clone();
@@ -333,21 +436,46 @@ impl Explorer {
             }
             if !mutated {
                 stale += 1;
+                trace.push(IterRecord {
+                    iter,
+                    area_mm2: best.cost.area_mm2,
+                    power_mw: best.cost.power_mw,
+                    objective: best.objective,
+                    perf: best.perf,
+                    accepted: false,
+                    rejected_reason: Some(RejectReason::NoMutation),
+                });
+                if stale >= self.cfg.patience {
+                    break;
+                }
                 continue;
             }
 
-            let point = self.evaluate();
-            let accepted = point.objective > best.objective;
-            if accepted {
-                best = point.clone();
-                best_adg = self.adg.clone();
-                best_schedules = self.schedules.clone();
-                stale = 0;
-            } else {
-                self.adg = backup_adg;
-                self.schedules = backup_scheds;
-                stale += 1;
-            }
+            let (accepted, rejected_reason) = match self.evaluate_candidate(iter) {
+                Ok(point) if point.objective > best.objective => {
+                    best = point;
+                    best_adg = self.adg.clone();
+                    best_schedules = self.schedules.clone();
+                    stale = 0;
+                    (true, None)
+                }
+                Ok(point) => {
+                    let reason = self.classify_rejection(&point);
+                    self.adg = backup_adg;
+                    self.schedules = backup_scheds;
+                    stale += 1;
+                    (false, Some(reason))
+                }
+                Err(reason) => {
+                    // The candidate crashed or outran its budget mid-way;
+                    // the explorer state may be half-updated, so restore
+                    // the backed-up design wholesale and move on.
+                    self.adg = backup_adg;
+                    self.schedules = backup_scheds;
+                    stale += 1;
+                    (false, Some(reason))
+                }
+            };
             trace.push(IterRecord {
                 iter,
                 area_mm2: best.cost.area_mm2,
@@ -355,6 +483,7 @@ impl Explorer {
                 objective: best.objective,
                 perf: best.perf,
                 accepted,
+                rejected_reason,
             });
             if stale >= self.cfg.patience {
                 break;
@@ -394,7 +523,9 @@ mod tests {
 
     use super::*;
 
-    fn small_kernels() -> Vec<Kernel> {
+    /// Builds the two test kernels, propagating builder errors instead of
+    /// unwrapping so a malformed fixture reports *what* failed.
+    fn try_small_kernels() -> Result<Vec<Kernel>, dsagen_dfg::DfgError> {
         let mut out = Vec::new();
         // axpy
         let mut k = KernelBuilder::new("axpy");
@@ -409,7 +540,7 @@ mod tests {
         let s = r.bin(Opcode::Add, m, vb);
         r.store(b, AffineExpr::var(i), s);
         k.finish_region(r);
-        out.push(k.build().unwrap());
+        out.push(k.build()?);
         // dot
         let mut k = KernelBuilder::new("dot");
         let a = k.array("a", BitWidth::B64, 256, MemClass::MainMemory);
@@ -423,8 +554,15 @@ mod tests {
         let acc = r.reduce(Opcode::Add, p, i);
         r.store(c, AffineExpr::constant(0), acc);
         k.finish_region(r);
-        out.push(k.build().unwrap());
-        out
+        out.push(k.build()?);
+        Ok(out)
+    }
+
+    fn small_kernels() -> Vec<Kernel> {
+        match try_small_kernels() {
+            Ok(ks) => ks,
+            Err(e) => panic!("test kernel fixture failed to build: {e}"),
+        }
     }
 
     fn quick_cfg() -> DseConfig {
@@ -504,5 +642,102 @@ mod tests {
         let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), cfg);
         let _ = ex.run();
         assert!(!ex.schedules.is_empty());
+    }
+
+    #[test]
+    fn forced_panic_is_isolated_and_recorded_in_trace() {
+        // A candidate evaluation that panics must not abort the search: the
+        // step is rejected with `RejectReason::Panicked` and exploration
+        // continues through the remaining iterations.
+        let cfg = DseConfig {
+            max_iters: 6,
+            panic_at_iter: Some(2),
+            ..quick_cfg()
+        };
+        let result = explore(presets::dse_initial(), &small_kernels(), cfg);
+        let panicked: Vec<_> = result
+            .trace
+            .iter()
+            .filter(|r| r.rejected_reason == Some(RejectReason::Panicked))
+            .collect();
+        assert_eq!(panicked.len(), 1, "exactly one forced panic expected");
+        assert_eq!(panicked[0].iter, 2);
+        assert!(!panicked[0].accepted);
+        // Exploration ran past the panicking iteration.
+        let last = result.trace.last().map_or(0, |r| r.iter);
+        assert!(last > 2, "search stopped at iter {last}, expected > 2");
+        assert!(result.best.objective > 0.0, "best point stays feasible");
+    }
+
+    #[test]
+    fn panic_rollback_keeps_search_deterministic() {
+        // After a caught panic the explorer restores the pre-step ADG and
+        // schedules, so the surviving iterations match a panic-free run
+        // step-for-step (modulo the panicked record itself).
+        let clean = explore(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let cfg = DseConfig {
+            panic_at_iter: Some(3),
+            ..quick_cfg()
+        };
+        let faulty = explore(presets::dse_initial(), &small_kernels(), cfg);
+        assert_eq!(clean.trace.len(), faulty.trace.len());
+        for (c, f) in clean.trace.iter().zip(&faulty.trace) {
+            if f.rejected_reason == Some(RejectReason::Panicked) {
+                continue; // the panicked step rejects where the clean run may accept
+            }
+            // Objectives can only diverge if the panicked step would have
+            // been accepted in the clean run; the best never regresses.
+            assert!(f.objective <= c.objective + 1e-12, "iter {}", f.iter);
+        }
+        assert!(faulty.best.objective > 0.0);
+    }
+
+    #[test]
+    fn zero_time_budget_times_out_every_candidate() {
+        let cfg = DseConfig {
+            max_iters: 4,
+            eval_budget_ms: Some(0),
+            ..quick_cfg()
+        };
+        let result = explore(presets::dse_initial(), &small_kernels(), cfg);
+        // The initial evaluation is exempt (it seeds the search), but every
+        // mutation step must be rejected as timed-out.
+        let steps: Vec<_> = result.trace.iter().filter(|r| r.iter > 0).collect();
+        assert!(!steps.is_empty());
+        for rec in steps {
+            assert!(!rec.accepted);
+            assert!(
+                matches!(
+                    rec.rejected_reason,
+                    Some(RejectReason::TimedOut) | Some(RejectReason::NoMutation)
+                ),
+                "iter {}: {:?}",
+                rec.iter,
+                rec.rejected_reason
+            );
+        }
+        // Only the iter-0 seeding (initial evaluation + opening trim) may
+        // have contributed to the best point; no timed-out step did.
+        let best_seed = result
+            .trace
+            .iter()
+            .filter(|r| r.iter == 0)
+            .map(|r| r.objective)
+            .fold(0.0_f64, f64::max);
+        assert_eq!(result.best.objective, best_seed);
+    }
+
+    #[test]
+    fn reject_reasons_render_stable_labels() {
+        for (reason, label) in [
+            (RejectReason::Panicked, "panicked"),
+            (RejectReason::TimedOut, "timed-out"),
+            (RejectReason::OverBudget, "over-budget"),
+            (RejectReason::Unmappable, "unmappable"),
+            (RejectReason::WorseObjective, "worse-objective"),
+            (RejectReason::NoMutation, "no-mutation"),
+        ] {
+            assert_eq!(reason.to_string(), label);
+        }
     }
 }

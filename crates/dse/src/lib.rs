@@ -29,5 +29,7 @@
 mod explorer;
 mod mutate;
 
-pub use explorer::{explore, max_feature_set, DseConfig, DsePoint, DseResult, Explorer, IterRecord};
+pub use explorer::{
+    explore, max_feature_set, DseConfig, DsePoint, DseResult, Explorer, IterRecord, RejectReason,
+};
 pub use mutate::{mutate, Mutation};

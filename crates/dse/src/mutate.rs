@@ -81,7 +81,12 @@ pub fn mutate(
     rng: &mut StdRng,
     used_ops: &OpSet,
 ) -> Option<Mutation> {
-    let kind = *Mutation::ALL.choose(rng).expect("nonempty");
+    // `ALL` is a non-empty const; fall back to the first entry rather than
+    // panicking if `choose` ever declines (e.g. a stub RNG).
+    let kind = Mutation::ALL
+        .choose(rng)
+        .copied()
+        .unwrap_or(Mutation::ALL[0]);
     let backup = adg.clone();
     let applied = apply(adg, rng, kind, used_ops);
     if applied && adg.validate().is_ok() {
@@ -178,8 +183,9 @@ fn apply(adg: &mut Adg, rng: &mut StdRng, kind: Mutation, used_ops: &OpSet) -> b
             if candidates.len() < 2 {
                 return false;
             }
-            let a = *candidates.choose(rng).expect("nonempty");
-            let b = *candidates.choose(rng).expect("nonempty");
+            let (Some(&a), Some(&b)) = (candidates.choose(rng), candidates.choose(rng)) else {
+                return false;
+            };
             if a == b {
                 return false;
             }

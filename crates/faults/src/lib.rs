@@ -1,0 +1,595 @@
+//! Deterministic fault injection for DSAGEN architecture description
+//! graphs.
+//!
+//! Synthesized spatial accelerators are deployed into environments where
+//! hardware degrades: a PE's functional unit fails timing, a link is fused
+//! off after a manufacturing defect, a switch's configuration latch sticks,
+//! an SRAM bank shrinks a FIFO. The co-design pipeline built around the
+//! ADG (scheduler repair §V-A, cycle simulator, DSE) must degrade
+//! *gracefully* under such damage instead of panicking.
+//!
+//! This crate provides the damage model:
+//!
+//! * [`FaultKind`] — the four supported hardware faults (dead PE, severed
+//!   link, stuck switch, shrunk FIFO);
+//! * [`FaultPlan`] — a seeded, reproducible list of faults to apply;
+//! * [`inject`] — applies a plan to an [`Adg`], producing a degraded graph
+//!   that is **guaranteed to still pass [`Adg::validate`]** plus a
+//!   structured [`FaultReport`] of what was applied and what was skipped.
+//!
+//! The guarantee is enforced by *validate-rollback*: each fault is applied
+//! to a scratch copy and kept only if the result still validates; a fault
+//! with no viable target (for example severing the only config path to a
+//! component) is recorded as skipped, never silently dropped and never
+//! allowed to corrupt the graph.
+//!
+//! Determinism contract: `inject(adg, plan)` is a pure function of the
+//! graph and `plan.seed` — the same inputs produce the same degraded graph
+//! and the same report, which is what makes fault-ablation experiments
+//! (repair-vs-reschedule under damage) reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use dsagen_adg::presets;
+//! use dsagen_faults::{inject, FaultKind, FaultPlan};
+//!
+//! let adg = presets::softbrain();
+//! let plan = FaultPlan::new(0xDEAD).with(FaultKind::DeadPe).with(FaultKind::SeveredLink);
+//! let (degraded, report) = inject(&adg, &plan);
+//! degraded.validate().expect("degraded graphs always validate");
+//! assert_eq!(report.applied.len() + report.skipped.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind, Routing};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One kind of hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A processing element dies entirely: the node and all its links are
+    /// removed from the graph.
+    DeadPe,
+    /// A point-to-point connection is severed: one edge is removed.
+    SeveredLink,
+    /// A switch's input selector sticks: its routing matrix collapses so a
+    /// single (randomly chosen) input port drives every output.
+    StuckSwitch,
+    /// A FIFO loses capacity: a sync or delay element's depth is halved
+    /// (never below one entry).
+    ShrunkFifo,
+}
+
+impl FaultKind {
+    /// All fault kinds, in a fixed order (useful for exhaustive sweeps).
+    pub const ALL: [FaultKind; 4] = [
+        FaultKind::DeadPe,
+        FaultKind::SeveredLink,
+        FaultKind::StuckSwitch,
+        FaultKind::ShrunkFifo,
+    ];
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FaultKind::DeadPe => "dead-pe",
+            FaultKind::SeveredLink => "severed-link",
+            FaultKind::StuckSwitch => "stuck-switch",
+            FaultKind::ShrunkFifo => "shrunk-fifo",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A seeded, reproducible list of faults to inject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for target selection. The same seed against the same graph
+    /// always picks the same victims.
+    pub seed: u64,
+    /// Faults to apply, in order.
+    pub faults: Vec<FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends one fault (builder style).
+    #[must_use]
+    pub fn with(mut self, kind: FaultKind) -> Self {
+        self.faults.push(kind);
+        self
+    }
+
+    /// A plan of `count` faults whose kinds are drawn uniformly from
+    /// [`FaultKind::ALL`] using `seed` (the same seed also drives target
+    /// selection during [`inject`]).
+    #[must_use]
+    pub fn random(seed: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF417_5EED);
+        let faults = (0..count)
+            .map(|_| FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())])
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
+    /// Whether the plan contains no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// The hardware element a fault landed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A node (PE, switch, sync, delay).
+    Node(NodeId),
+    /// An edge (link).
+    Edge(EdgeId),
+}
+
+impl fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultTarget::Node(n) => write!(f, "{n}"),
+            FaultTarget::Edge(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// One fault that was successfully applied.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFault {
+    /// What kind of fault.
+    pub kind: FaultKind,
+    /// Which hardware element it hit.
+    pub target: FaultTarget,
+    /// Human-readable detail (for example "depth 16 -> 8").
+    pub detail: String,
+}
+
+/// One fault that could not be applied without breaking the graph's
+/// composition rules, recorded instead of silently dropped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SkippedFault {
+    /// What kind of fault was requested.
+    pub kind: FaultKind,
+    /// Why no viable target existed.
+    pub reason: String,
+}
+
+/// Structured record of an [`inject`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// Faults applied, in plan order.
+    pub applied: Vec<InjectedFault>,
+    /// Faults skipped (no target survived validate-rollback), in plan order.
+    pub skipped: Vec<SkippedFault>,
+}
+
+impl FaultReport {
+    /// Node ids of every applied node-targeted fault.
+    #[must_use]
+    pub fn faulted_nodes(&self) -> Vec<NodeId> {
+        self.applied
+            .iter()
+            .filter_map(|f| match f.target {
+                FaultTarget::Node(n) => Some(n),
+                FaultTarget::Edge(_) => None,
+            })
+            .collect()
+    }
+
+    /// Edge ids of every applied edge-targeted fault.
+    #[must_use]
+    pub fn faulted_edges(&self) -> Vec<EdgeId> {
+        self.applied
+            .iter()
+            .filter_map(|f| match f.target {
+                FaultTarget::Edge(e) => Some(e),
+                FaultTarget::Node(_) => None,
+            })
+            .collect()
+    }
+
+    /// Whether anything was applied.
+    #[must_use]
+    pub fn any_applied(&self) -> bool {
+        !self.applied.is_empty()
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} applied, {} skipped",
+            self.applied.len(),
+            self.skipped.len()
+        )?;
+        for a in &self.applied {
+            write!(f, "; {} @ {} ({})", a.kind, a.target, a.detail)?;
+        }
+        for s in &self.skipped {
+            write!(f, "; {} skipped: {}", s.kind, s.reason)?;
+        }
+        Ok(())
+    }
+}
+
+/// Applies `plan` to `adg`, returning the degraded graph and a report.
+///
+/// The returned graph **always** passes [`Adg::validate`]: each fault is
+/// tried against candidate targets in a seed-determined order and the first
+/// application that keeps the graph valid wins; a fault with no valid
+/// application is recorded in [`FaultReport::skipped`]. Node and edge ids
+/// of surviving hardware are unchanged (the ADG tombstones removed slots),
+/// so schedules made against the healthy graph can be repaired against the
+/// degraded one.
+#[must_use]
+pub fn inject(adg: &Adg, plan: &FaultPlan) -> (Adg, FaultReport) {
+    let mut current = adg.clone();
+    let mut report = FaultReport::default();
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    for &kind in &plan.faults {
+        match apply_one(&current, kind, &mut rng) {
+            Ok((next, injected)) => {
+                current = next;
+                report.applied.push(injected);
+            }
+            Err(reason) => report.skipped.push(SkippedFault { kind, reason }),
+        }
+    }
+    debug_assert!(current.validate().is_ok(), "inject must preserve validity");
+    (current, report)
+}
+
+/// Tries to apply one fault, returning the mutated graph on success.
+fn apply_one(adg: &Adg, kind: FaultKind, rng: &mut StdRng) -> Result<(Adg, InjectedFault), String> {
+    match kind {
+        FaultKind::DeadPe => {
+            let candidates: Vec<NodeId> = adg.pes().collect();
+            try_candidates(adg, kind, candidates, rng, |g, pe| {
+                let label = g
+                    .node(pe)
+                    .and_then(|n| n.label.clone())
+                    .unwrap_or_else(|| pe.to_string());
+                g.remove_node(pe).map_err(|e| e.to_string())?;
+                Ok(InjectedFault {
+                    kind,
+                    target: FaultTarget::Node(pe),
+                    detail: format!("removed PE {label} and its links"),
+                })
+            })
+        }
+        FaultKind::SeveredLink => {
+            // Control links carry commands, not datapath values; severing
+            // one usually makes a whole region Unconfigurable, so prefer
+            // datapath links (validate-rollback still guards the rest).
+            let ctrl = adg.control();
+            let candidates: Vec<EdgeId> = adg
+                .edges()
+                .filter(|e| Some(e.src) != ctrl && Some(e.dst) != ctrl)
+                .map(dsagen_adg::Edge::id)
+                .collect();
+            try_candidates(adg, kind, candidates, rng, |g, eid| {
+                let edge = *g.edge(eid).ok_or("edge vanished")?;
+                g.remove_edge(eid).map_err(|e| e.to_string())?;
+                Ok(InjectedFault {
+                    kind,
+                    target: FaultTarget::Edge(eid),
+                    detail: format!("severed {} -> {}", edge.src, edge.dst),
+                })
+            })
+        }
+        FaultKind::StuckSwitch => {
+            // Only switches with >1 input can meaningfully stick.
+            let candidates: Vec<NodeId> = adg
+                .switches()
+                .filter(|s| adg.in_edges(*s).count() > 1)
+                .collect();
+            let stuck_pick = rng.next_u64();
+            try_candidates(adg, kind, candidates, rng, move |g, sw| {
+                let inputs = g.in_edges(sw).count();
+                let outputs = g.out_edges(sw).count().max(1);
+                let stuck = (stuck_pick % inputs as u64) as usize;
+                let matrix: Vec<Vec<bool>> = (0..inputs)
+                    .map(|i| vec![i == stuck; outputs])
+                    .collect();
+                match g.node_mut(sw).map(|n| &mut n.kind) {
+                    Some(NodeKind::Switch(spec)) => {
+                        spec.routing = Routing::Matrix(matrix);
+                        Ok(InjectedFault {
+                            kind,
+                            target: FaultTarget::Node(sw),
+                            detail: format!("input {stuck}/{inputs} stuck to all outputs"),
+                        })
+                    }
+                    _ => Err("candidate is not a switch".to_string()),
+                }
+            })
+        }
+        FaultKind::ShrunkFifo => {
+            // Syncs and delay FIFOs with depth > 1 can shrink.
+            let candidates: Vec<NodeId> = adg
+                .nodes()
+                .filter(|n| match &n.kind {
+                    NodeKind::Sync(sy) => sy.depth > 1,
+                    NodeKind::Delay(d) => d.depth > 1,
+                    _ => false,
+                })
+                .map(dsagen_adg::Node::id)
+                .collect();
+            try_candidates(adg, kind, candidates, rng, |g, node| {
+                match g.node_mut(node).map(|n| &mut n.kind) {
+                    Some(NodeKind::Sync(sy)) => {
+                        let old = sy.depth;
+                        sy.depth = (sy.depth / 2).max(1);
+                        Ok(InjectedFault {
+                            kind,
+                            target: FaultTarget::Node(node),
+                            detail: format!("sync depth {old} -> {}", sy.depth),
+                        })
+                    }
+                    Some(NodeKind::Delay(d)) => {
+                        let old = d.depth;
+                        d.depth = (d.depth / 2).max(1);
+                        Ok(InjectedFault {
+                            kind,
+                            target: FaultTarget::Node(node),
+                            detail: format!("delay depth {old} -> {}", d.depth),
+                        })
+                    }
+                    _ => Err("candidate is not a FIFO".to_string()),
+                }
+            })
+        }
+    }
+}
+
+/// Validate-rollback driver: shuffles `candidates` with `rng`, applies
+/// `mutate` to a scratch copy per candidate, and returns the first result
+/// that still validates. All candidates failing (or none existing) is an
+/// `Err` with a reason.
+fn try_candidates<T: Copy>(
+    adg: &Adg,
+    kind: FaultKind,
+    mut candidates: Vec<T>,
+    rng: &mut StdRng,
+    mutate: impl Fn(&mut Adg, T) -> Result<InjectedFault, String>,
+) -> Result<(Adg, InjectedFault), String> {
+    use rand::seq::SliceRandom;
+    if candidates.is_empty() {
+        return Err(format!("no viable target for {kind}"));
+    }
+    candidates.shuffle(rng);
+    let mut last_reason = String::new();
+    for &cand in &candidates {
+        let mut scratch = adg.clone();
+        match mutate(&mut scratch, cand) {
+            Ok(injected) => match scratch.validate() {
+                Ok(()) => return Ok((scratch, injected)),
+                Err(e) => last_reason = format!("candidate breaks validation: {e}"),
+            },
+            Err(e) => last_reason = e,
+        }
+    }
+    Err(format!(
+        "all {} candidates for {kind} rolled back ({last_reason})",
+        candidates.len()
+    ))
+}
+
+// `rand`'s RngCore is deliberately minimal; re-expose next_u64 for the
+// stuck-input pick above without importing the trait at every call site.
+trait NextU64 {
+    fn next_u64(&mut self) -> u64;
+}
+impl NextU64 for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        <StdRng as rand::RngCore>::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::presets;
+
+    use super::*;
+
+    fn all_presets() -> Vec<Adg> {
+        vec![
+            presets::softbrain(),
+            presets::maeri(),
+            presets::triggered(),
+            presets::spu(),
+            presets::revel(),
+            presets::plasticine(),
+            presets::tabla(),
+        ]
+    }
+
+    #[test]
+    fn injection_is_deterministic_given_seed() {
+        let adg = presets::softbrain();
+        let plan = FaultPlan::random(42, 4);
+        let (a1, r1) = inject(&adg, &plan);
+        let (a2, r2) = inject(&adg, &plan);
+        assert_eq!(a1, a2);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn different_seeds_pick_different_victims() {
+        let adg = presets::softbrain();
+        let hit: Vec<_> = (0..8)
+            .map(|s| {
+                let plan = FaultPlan::new(s).with(FaultKind::DeadPe);
+                let (_, r) = inject(&adg, &plan);
+                r.faulted_nodes()
+            })
+            .collect();
+        assert!(
+            hit.windows(2).any(|w| w[0] != w[1]),
+            "eight seeds never diverged: {hit:?}"
+        );
+    }
+
+    #[test]
+    fn every_fault_kind_keeps_every_preset_valid() {
+        for adg in all_presets() {
+            for kind in FaultKind::ALL {
+                let plan = FaultPlan::new(7).with(kind);
+                let (degraded, report) = inject(&adg, &plan);
+                degraded
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{kind} broke {}: {e}", adg.name()));
+                assert_eq!(
+                    report.applied.len() + report.skipped.len(),
+                    1,
+                    "{kind} on {} unaccounted",
+                    adg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_pe_removes_exactly_one_pe() {
+        let adg = presets::softbrain();
+        let before = adg.pes().count();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(3).with(FaultKind::DeadPe));
+        assert_eq!(degraded.pes().count(), before - 1);
+        assert_eq!(report.faulted_nodes().len(), 1);
+    }
+
+    #[test]
+    fn severed_link_removes_exactly_one_edge() {
+        let adg = presets::softbrain();
+        let before = adg.edge_count();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(3).with(FaultKind::SeveredLink));
+        assert_eq!(degraded.edge_count(), before - 1);
+        assert_eq!(report.faulted_edges().len(), 1);
+    }
+
+    #[test]
+    fn shrunk_fifo_halves_depth() {
+        let adg = presets::softbrain();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(9).with(FaultKind::ShrunkFifo));
+        let [node] = report.faulted_nodes()[..] else {
+            panic!("expected one faulted node: {report}");
+        };
+        let (old_depth, new_depth) = match (
+            adg.node(node).map(|n| &n.kind),
+            degraded.node(node).map(|n| &n.kind),
+        ) {
+            (Some(NodeKind::Sync(a)), Some(NodeKind::Sync(b))) => {
+                (u32::from(a.depth), u32::from(b.depth))
+            }
+            (Some(NodeKind::Delay(a)), Some(NodeKind::Delay(b))) => {
+                (u32::from(a.depth), u32::from(b.depth))
+            }
+            other => panic!("fifo fault hit a non-fifo: {other:?}"),
+        };
+        assert_eq!(new_depth, (old_depth / 2).max(1));
+    }
+
+    #[test]
+    fn stuck_switch_restricts_routing() {
+        let adg = presets::softbrain();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(5).with(FaultKind::StuckSwitch));
+        let [node] = report.faulted_nodes()[..] else {
+            panic!("expected one faulted switch: {report}");
+        };
+        match degraded.node(node).map(|n| &n.kind) {
+            Some(NodeKind::Switch(sw)) => {
+                let inputs = degraded.in_edges(node).count();
+                let live: usize = (0..inputs).filter(|&i| sw.routing.allows(i, 0)).count();
+                assert_eq!(live, 1, "exactly one input should survive");
+            }
+            other => panic!("stuck-switch hit a non-switch: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_faults_are_skipped_not_dropped() {
+        // A minimal tree-shaped graph: no switch to stick, only depth-1
+        // FIFOs, and every datapath edge is a cut edge whose removal
+        // orphans a component from the control core.
+        use dsagen_adg::{CtrlSpec, MemSpec, OpSet, PeSpec, Scheduling, Sharing, SyncSpec};
+        let mut adg = Adg::new("minimal");
+        let ctrl = adg.add_control(CtrlSpec::new());
+        let mem = adg.add_memory(MemSpec::main_memory());
+        let inp = adg.add_sync(SyncSpec::new(1));
+        let pe = adg.add_pe(PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu(),
+        ));
+        adg.add_link(mem, inp).unwrap();
+        adg.add_link(inp, pe).unwrap();
+        adg.add_link(ctrl, mem).unwrap();
+        adg.validate().unwrap();
+
+        let plan = FaultPlan::new(1)
+            .with(FaultKind::StuckSwitch)
+            .with(FaultKind::ShrunkFifo)
+            .with(FaultKind::SeveredLink);
+        let (degraded, report) = inject(&adg, &plan);
+        degraded.validate().unwrap();
+        // No switches, depth-1 FIFOs, and every datapath edge is a cut
+        // edge whose removal orphans a component -> all three skip.
+        assert_eq!(report.applied.len(), 0, "{report}");
+        assert_eq!(report.skipped.len(), 3, "{report}");
+    }
+
+    #[test]
+    fn surviving_ids_are_stable() {
+        let adg = presets::softbrain();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(11).with(FaultKind::DeadPe));
+        let dead = report.faulted_nodes()[0];
+        for node in adg.nodes() {
+            if node.id() == dead {
+                assert!(degraded.node(node.id()).is_none());
+            } else {
+                assert_eq!(
+                    degraded.node(node.id()).map(|n| &n.kind),
+                    Some(&node.kind),
+                    "surviving node {} changed",
+                    node.id()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_plan_is_reproducible() {
+        assert_eq!(FaultPlan::random(99, 6), FaultPlan::random(99, 6));
+        assert_eq!(FaultPlan::random(99, 6).faults.len(), 6);
+    }
+
+    #[test]
+    fn display_summarizes_report() {
+        let adg = presets::softbrain();
+        let (_, report) = inject(&adg, &FaultPlan::new(2).with(FaultKind::DeadPe));
+        let s = report.to_string();
+        assert!(s.contains("1 applied"), "{s}");
+        assert!(s.contains("dead-pe"), "{s}");
+    }
+}

@@ -373,7 +373,7 @@ mod tests {
         let n = 64u64;
         let mut k = KernelBuilder::new("colsum");
         let a = k.array("a", BitWidth::B64, n * n, MemClass::MainMemory);
-        let c = k.array("c", BitWidth::B64, n as u64, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, n, MemClass::MainMemory);
         let mut r = k.region("body", 1.0);
         let i = r.for_loop(TripCount::fixed(n), true);
         let j = r.for_loop(TripCount::fixed(n), false);

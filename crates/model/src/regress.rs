@@ -52,9 +52,9 @@ impl AreaPowerModel {
         let f = component_features(adg, id);
         let mut area = 0.0;
         let mut power = 0.0;
-        for i in 0..N_FEATURES {
-            area += self.coef_area[i] * f[i];
-            power += self.coef_power[i] * f[i];
+        for (i, fi) in f.iter().enumerate() {
+            area += self.coef_area[i] * fi;
+            power += self.coef_power[i] * fi;
         }
         HwCost {
             area_mm2: area.max(0.0),
@@ -239,8 +239,9 @@ fn least_squares(xs: &[[f64; N_FEATURES]], ys: &[f64]) -> [f64; N_FEATURES] {
                 continue;
             }
             let factor = ata[row][col] / diag;
-            for k in col..n {
-                ata[row][k] -= factor * ata[col][k];
+            let pivot_row = ata[col].clone();
+            for (a, p) in ata[row][col..n].iter_mut().zip(&pivot_row[col..n]) {
+                *a -= factor * p;
             }
             atb[row] -= factor * atb[col];
         }

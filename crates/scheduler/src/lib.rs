@@ -31,6 +31,8 @@ mod scheduler;
 
 pub use objective::{evaluate, Evaluation, RegionEval, Weights, MEM_ROUNDTRIP};
 pub use problem::{op_rates, Entity, EntityKind, Problem, VirtEdge};
-pub use route::{delay_capacity, route};
+pub use route::{delay_capacity, path_legal, route};
 pub use schedule::Schedule;
-pub use scheduler::{repair, schedule, ScheduleResult, SchedulerConfig};
+pub use scheduler::{
+    repair, repair_with_escalation, schedule, RepairOutcome, ScheduleResult, SchedulerConfig,
+};

@@ -83,6 +83,45 @@ fn turn_legal(adg: &Adg, e_in: EdgeId, e_out: EdgeId) -> bool {
     }
 }
 
+/// Whether `path` is still a legal route starting at `src` under the
+/// current ADG: the edges chain head-to-tail, interior nodes are passable,
+/// every hop obeys the §III-B timing rules, and every switch's routing
+/// matrix permits the turn taken through it.
+///
+/// Schedule repair uses this after fault injection: a stuck switch does
+/// not *remove* any edge, but it can forbid the turn an existing route
+/// took, so route validity must be re-checked semantically, not just
+/// structurally.
+#[must_use]
+pub fn path_legal(adg: &Adg, src: NodeId, path: &[EdgeId]) -> bool {
+    let mut cur = src;
+    let mut prev: Option<EdgeId> = None;
+    for (i, &eid) in path.iter().enumerate() {
+        let Some(e) = adg.edge(eid) else {
+            return false;
+        };
+        if e.src != cur || !hop_legal(adg, e.src, e.dst) {
+            return false;
+        }
+        if let Some(p) = prev {
+            if !turn_legal(adg, p, eid) {
+                return false;
+            }
+        }
+        // Interior nodes must be passable (the final dst is the route's
+        // terminal and may be a PE or memory).
+        if i + 1 < path.len() {
+            match adg.kind(e.dst) {
+                Ok(kind) if passable(kind) => {}
+                _ => return false,
+            }
+        }
+        cur = e.dst;
+        prev = Some(eid);
+    }
+    true
+}
+
 /// Finds the cheapest legal route from `from` to `to`.
 ///
 /// Edge cost is `1 + congestion_weight · usage(edge)`, so already-busy

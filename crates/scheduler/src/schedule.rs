@@ -96,17 +96,19 @@ impl Schedule {
             let Some(vedge) = problem.edges.get(*idx) else {
                 return false;
             };
-            if placement[vedge.src].is_none() || placement[vedge.dst].is_none() {
+            let (Some(mut cur), Some(dst)) = (
+                placement.get(vedge.src).copied().flatten(),
+                placement.get(vedge.dst).copied().flatten(),
+            ) else {
                 return false;
-            }
-            let mut cur = placement[vedge.src].expect("checked");
+            };
             for eid in path.iter() {
                 match adg.edge(*eid) {
                     Some(e) if e.src == cur => cur = e.dst,
                     _ => return false,
                 }
             }
-            Some(cur) == placement[vedge.dst]
+            cur == dst
         });
         dropped
     }

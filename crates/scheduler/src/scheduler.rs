@@ -45,6 +45,32 @@ impl Default for SchedulerConfig {
     }
 }
 
+/// How a scheduling run related to the previous schedule it started from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairOutcome {
+    /// Scheduled from scratch — no previous schedule.
+    Fresh,
+    /// Repaired with every previous placement and route intact.
+    Clean,
+    /// The hardware changed underneath the previous schedule: some of it
+    /// had to be dropped and redone.
+    Degraded {
+        /// Entity placements invalidated (deleted or incompatible nodes).
+        dropped: usize,
+        /// Routes invalidated (severed edges, endpoints dropped, or turns
+        /// forbidden by a changed routing matrix) that had to be rerouted.
+        rerouted: usize,
+    },
+}
+
+impl RepairOutcome {
+    /// Whether anything from the previous schedule was lost.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RepairOutcome::Degraded { .. })
+    }
+}
+
 /// The outcome of a scheduling run.
 #[derive(Debug, Clone)]
 pub struct ScheduleResult {
@@ -54,6 +80,8 @@ pub struct ScheduleResult {
     pub eval: Evaluation,
     /// Iterations actually executed.
     pub iterations: u32,
+    /// Relation to the previous schedule (repair runs only).
+    pub outcome: RepairOutcome,
 }
 
 impl ScheduleResult {
@@ -96,9 +124,12 @@ pub fn schedule(adg: &Adg, kernel: &CompiledKernel, cfg: &SchedulerConfig) -> Sc
     run(&problem, initial, cfg)
 }
 
-/// Repairs a previous schedule against a (possibly mutated) ADG, then
-/// continues iterating — the §V-A repairing scheduler. Placements on
-/// deleted or incompatible hardware are dropped; everything else is reused.
+/// Repairs a previous schedule against a (possibly mutated or
+/// fault-degraded) ADG, then continues iterating — the §V-A repairing
+/// scheduler. Placements on deleted or incompatible hardware are dropped,
+/// routes through severed links or newly-forbidden switch turns are
+/// rerouted, and everything else is reused. The result's
+/// [`ScheduleResult::outcome`] records what was lost.
 #[must_use]
 pub fn repair(
     adg: &Adg,
@@ -107,8 +138,73 @@ pub fn repair(
     cfg: &SchedulerConfig,
 ) -> ScheduleResult {
     let problem = Problem::new(adg, kernel);
-    previous.invalidate_removed(&problem);
-    run(&problem, previous, cfg)
+    let routes_before = previous.routes.len();
+    let dropped = previous.invalidate_removed(&problem);
+    // `invalidate_removed` checks route *structure* (edges still chain);
+    // faults like a stuck switch keep every edge alive but forbid turns,
+    // so re-check route *semantics* too.
+    let placement = previous.placement.clone();
+    previous.routes.retain(|idx, path| {
+        problem
+            .edges
+            .get(*idx)
+            .and_then(|vedge| placement.get(vedge.src).copied().flatten())
+            .is_some_and(|src| crate::route::path_legal(adg, src, path))
+    });
+    let rerouted = routes_before.saturating_sub(previous.routes.len());
+    let outcome = if dropped == 0 && rerouted == 0 {
+        RepairOutcome::Clean
+    } else {
+        RepairOutcome::Degraded { dropped, rerouted }
+    };
+    let mut result = run(&problem, previous, cfg);
+    result.outcome = outcome;
+    result
+}
+
+/// [`repair`] with bounded retry-with-escalation: if the repaired schedule
+/// is still illegal, the iteration budget is doubled (and the seed
+/// perturbed) and the repair re-run from the same previous schedule, up to
+/// `max_attempts` total attempts or an absolute per-attempt budget of
+/// 4096 iterations. Returns the first legal result, or the best illegal
+/// one (lowest objective) if every attempt fails — never panics.
+#[must_use]
+pub fn repair_with_escalation(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    previous: &Schedule,
+    cfg: &SchedulerConfig,
+    max_attempts: u32,
+) -> ScheduleResult {
+    const ITER_CAP: u32 = 4096;
+    let mut best: Option<ScheduleResult> = None;
+    let mut iters = cfg.max_iters.max(1);
+    for attempt in 0..max_attempts.max(1) {
+        let attempt_cfg = SchedulerConfig {
+            max_iters: iters.min(ITER_CAP),
+            seed: cfg.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..*cfg
+        };
+        let result = repair(adg, kernel, previous.clone(), &attempt_cfg);
+        let legal = result.is_legal();
+        let better = best
+            .as_ref()
+            .is_none_or(|b| result.eval.objective < b.eval.objective);
+        if legal || better {
+            best = Some(result);
+        }
+        if best.as_ref().is_some_and(ScheduleResult::is_legal) {
+            break;
+        }
+        if iters >= ITER_CAP {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    // The loop above always runs at least once, so `best` is set; the
+    // fallback keeps this function panic-free even if that invariant is
+    // ever broken by a refactor.
+    best.unwrap_or_else(|| repair(adg, kernel, previous.clone(), cfg))
 }
 
 fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> ScheduleResult {
@@ -147,7 +243,7 @@ fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> Sch
         } else {
             stale += 1;
             // Restart from the best known schedule after a bad streak.
-            if stale % 10 == 0 {
+            if stale.is_multiple_of(10) {
                 sched = best.clone();
             }
         }
@@ -161,6 +257,7 @@ fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> Sch
         schedule: best,
         eval: best_eval,
         iterations,
+        outcome: RepairOutcome::Fresh,
     }
 }
 
@@ -510,6 +607,197 @@ mod tests {
         let repaired = repair(&adg, &ck, first.schedule.clone(), &cfg);
         assert!(repaired.is_legal());
         assert!(repaired.eval.objective <= first.eval.objective + 1e-9);
+    }
+
+    /// Schedules the dot kernel on softbrain and returns everything needed
+    /// by the fault-repair tests.
+    fn scheduled_softbrain() -> (dsagen_adg::Adg, dsagen_dfg::CompiledKernel, ScheduleResult) {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(
+            &dot_kernel(256),
+            &TransformConfig::fallback(),
+            &adg.features(),
+        )
+        .unwrap();
+        let first = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(first.is_legal());
+        (adg, ck, first)
+    }
+
+    /// How many placements two schedules share (same entity on same node).
+    fn shared_placements(a: &Schedule, b: &Schedule) -> usize {
+        a.placement
+            .iter()
+            .zip(&b.placement)
+            .filter(|(x, y)| x.is_some() && x == y)
+            .count()
+    }
+
+    #[test]
+    fn repair_reroutes_around_severed_link() {
+        use dsagen_faults::{inject, FaultKind, FaultPlan};
+        let (adg, ck, first) = scheduled_softbrain();
+        // Find a fault seed that severs a link the schedule actually uses.
+        let (degraded, severed) = (0..256)
+            .find_map(|seed| {
+                let (d, report) = inject(&adg, &FaultPlan::new(seed).with(FaultKind::SeveredLink));
+                let hit = report.faulted_edges().first().copied()?;
+                first
+                    .schedule
+                    .routes
+                    .values()
+                    .any(|path| path.contains(&hit))
+                    .then_some((d, hit))
+            })
+            .expect("some seed severs a used link");
+
+        // Repair runs with a repair-sized budget (§V-A: far cheaper than
+        // re-mapping from scratch); a long improvement run would
+        // legitimately migrate placements for a better objective.
+        let cfg = SchedulerConfig {
+            max_iters: 20,
+            patience: 5,
+            ..SchedulerConfig::default()
+        };
+        let repaired = repair(&degraded, &ck, first.schedule.clone(), &cfg);
+        assert!(repaired.is_legal(), "eval: {:?}", repaired.eval);
+        let RepairOutcome::Degraded { dropped, rerouted } = repaired.outcome else {
+            panic!("severing a used link must degrade: {:?}", repaired.outcome);
+        };
+        assert_eq!(dropped, 0, "a severed link drops no placements");
+        assert!(rerouted >= 1);
+        // No surviving route references the severed edge.
+        assert!(repaired
+            .schedule
+            .routes
+            .values()
+            .all(|path| !path.contains(&severed)));
+        // At least half the surviving placements are reused untouched
+        // (§V-A: repair preserves the unaffected part of the schedule; the
+        // improvement loop may legitimately move a few for a better
+        // objective). A severed link drops no placements, so every
+        // original placement survives the fault.
+        let surviving = first.schedule.placement.iter().flatten().count();
+        let kept = shared_placements(&first.schedule, &repaired.schedule);
+        assert!(
+            kept * 2 >= surviving,
+            "kept {kept} of {surviving} surviving placements"
+        );
+        // Same fault seed → identical degraded hardware → identical
+        // scheduler outcome (end-to-end determinism of the fault pipeline).
+        let again = repair(&degraded, &ck, first.schedule.clone(), &cfg);
+        assert_eq!(repaired.schedule.placement, again.schedule.placement);
+        assert_eq!(repaired.eval.objective, again.eval.objective);
+        assert_eq!(repaired.outcome, again.outcome);
+    }
+
+    #[test]
+    fn repair_after_dead_pe_fault_reuses_surviving_placements() {
+        use dsagen_faults::{inject, FaultKind, FaultPlan};
+        let (adg, ck, first) = scheduled_softbrain();
+        // Find a fault seed that kills a PE the schedule actually uses.
+        let (degraded, dead) = (0..256)
+            .find_map(|seed| {
+                let (d, report) = inject(&adg, &FaultPlan::new(seed).with(FaultKind::DeadPe));
+                let hit = report.faulted_nodes().first().copied()?;
+                first
+                    .schedule
+                    .placement
+                    .contains(&Some(hit))
+                    .then_some((d, hit))
+            })
+            .expect("some seed kills a used PE");
+
+        let cfg = SchedulerConfig {
+            max_iters: 20,
+            patience: 5,
+            ..SchedulerConfig::default()
+        };
+        let repaired = repair(&degraded, &ck, first.schedule.clone(), &cfg);
+        assert!(repaired.is_legal(), "eval: {:?}", repaired.eval);
+        assert!(repaired.outcome.is_degraded());
+        assert!(repaired.schedule.placement.iter().all(|p| *p != Some(dead)));
+        // ≥ half the placements that survived the fault are reused.
+        let placed = first.schedule.placement.iter().flatten().count();
+        let on_dead = first
+            .schedule
+            .placement
+            .iter()
+            .filter(|p| **p == Some(dead))
+            .count();
+        let surviving = placed - on_dead;
+        let kept = shared_placements(&first.schedule, &repaired.schedule);
+        assert!(
+            kept * 2 >= surviving,
+            "kept {kept} of {surviving} surviving placements"
+        );
+    }
+
+    #[test]
+    fn repair_drops_routes_forbidden_by_stuck_switch() {
+        use dsagen_faults::{inject, FaultKind, FaultPlan};
+        let (adg, ck, first) = scheduled_softbrain();
+        for seed in 0..8 {
+            let (degraded, report) =
+                inject(&adg, &FaultPlan::new(seed).with(FaultKind::StuckSwitch));
+            if !report.any_applied() {
+                continue;
+            }
+            let repaired =
+                repair(&degraded, &ck, first.schedule.clone(), &SchedulerConfig::default());
+            // Whatever the outcome, every surviving route must be legal
+            // under the stuck routing matrix.
+            for (idx, path) in &repaired.schedule.routes {
+                let src = repaired.schedule.placement
+                    [Problem::new(&degraded, &ck).edges[*idx].src]
+                    .expect("routed edges have placed endpoints");
+                assert!(
+                    crate::route::path_legal(&degraded, src, path),
+                    "seed {seed}: route {idx} takes a forbidden turn"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn escalation_recovers_when_base_budget_is_tiny() {
+        use dsagen_faults::{inject, FaultKind, FaultPlan};
+        let (adg, ck, first) = scheduled_softbrain();
+        let (degraded, _) = inject(&adg, &FaultPlan::new(1).with(FaultKind::DeadPe));
+        let tiny = SchedulerConfig {
+            max_iters: 2,
+            patience: 1,
+            ..SchedulerConfig::default()
+        };
+        let result = repair_with_escalation(&degraded, &ck, &first.schedule, &tiny, 6);
+        assert!(result.is_legal(), "eval: {:?}", result.eval);
+    }
+
+    #[test]
+    fn escalation_never_panics_and_returns_best_on_hopeless_problems() {
+        // Kill every PE's ability to host the kernel by using an ADG with
+        // no PEs left that we can reach legally: escalation must return an
+        // illegal-but-evaluated result instead of panicking.
+        let (adg, ck, first) = scheduled_softbrain();
+        let mut gutted = adg.clone();
+        let pes: Vec<_> = gutted.pes().collect();
+        for pe in pes {
+            // Rollback-free removal: skip any PE whose removal invalidates
+            // the graph (mirrors what inject() would refuse to do).
+            let mut scratch = gutted.clone();
+            if scratch.remove_node(pe).is_ok() && scratch.validate().is_ok() {
+                gutted = scratch;
+            }
+        }
+        let cfg = SchedulerConfig {
+            max_iters: 4,
+            ..SchedulerConfig::default()
+        };
+        let result = repair_with_escalation(&gutted, &ck, &first.schedule, &cfg, 3);
+        if gutted.pes().count() == 0 {
+            assert!(!result.is_legal());
+            assert!(result.eval.unplaced > 0);
+        }
     }
 
     #[test]

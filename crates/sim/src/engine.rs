@@ -65,6 +65,56 @@ struct RegionState {
     ctrl_floor: u64,
 }
 
+/// Simulates one kernel version end to end, after checking that the
+/// schedule only references hardware that still exists in `adg`.
+///
+/// This is the fault-tolerant entry point: a schedule minted against a
+/// healthy graph and then run against a fault-degraded one (dead PE,
+/// severed link) fails with a typed [`SimError`](crate::SimError) instead
+/// of producing nonsense or panicking deep inside the engine.
+///
+/// # Errors
+///
+/// * [`SimError::NoControlCore`](crate::SimError::NoControlCore) — the ADG
+///   has no control core to issue stream commands;
+/// * [`SimError::MissingNode`](crate::SimError::MissingNode) — a placement
+///   references a node absent from the ADG (for example a dead PE);
+/// * [`SimError::MissingEdge`](crate::SimError::MissingEdge) — a route
+///   references an edge absent from the ADG (for example a severed link).
+pub fn try_simulate(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> Result<SimReport, crate::SimError> {
+    if adg.control().is_none() {
+        return Err(crate::SimError::NoControlCore);
+    }
+    for (entity, placed) in schedule.placement.iter().enumerate() {
+        if let Some(node) = placed {
+            if adg.node(*node).is_none() {
+                return Err(crate::SimError::MissingNode {
+                    entity,
+                    node: *node,
+                });
+            }
+        }
+    }
+    for (route, path) in &schedule.routes {
+        for eid in path {
+            if adg.edge(*eid).is_none() {
+                return Err(crate::SimError::MissingEdge {
+                    route: *route,
+                    edge: *eid,
+                });
+            }
+        }
+    }
+    Ok(simulate(adg, kernel, schedule, eval, config_path_len, cfg))
+}
+
 /// Simulates one kernel version end to end.
 #[must_use]
 pub fn simulate(
@@ -383,7 +433,7 @@ fn region_state(
             (StreamSource::ControlCore, _) => {
                 // The core spreads its scalar work across the elements it
                 // must feed: total elements / total scalar ops.
-                (total / region.ctrl_ops.max(1.0)).min(1.0).max(1e-6)
+                (total / region.ctrl_ops.max(1.0)).clamp(1e-6, 1.0)
             }
             (StreamSource::Memory(_), Some(m)) => {
                 if s.pattern.indirect || s.dir == StreamDir::AtomicUpdate {

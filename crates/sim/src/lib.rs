@@ -49,7 +49,46 @@
 
 mod engine;
 
-pub use engine::simulate;
+pub use engine::{simulate, try_simulate};
+
+/// Why a simulation could not run: the schedule references hardware the
+/// (possibly fault-degraded) ADG no longer has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The ADG has no control core to issue stream commands.
+    NoControlCore,
+    /// A placement references a node absent from the ADG.
+    MissingNode {
+        /// Index of the placed entity.
+        entity: usize,
+        /// The missing node.
+        node: dsagen_adg::NodeId,
+    },
+    /// A route references an edge absent from the ADG.
+    MissingEdge {
+        /// Index of the routed virtual edge.
+        route: usize,
+        /// The missing edge.
+        edge: dsagen_adg::EdgeId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoControlCore => write!(f, "adg has no control core"),
+            SimError::MissingNode { entity, node } => {
+                write!(f, "entity {entity} is placed on missing node {node}")
+            }
+            SimError::MissingEdge { route, edge } => {
+                write!(f, "route {route} uses missing edge {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Simulator limits and switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,6 +290,67 @@ mod tests {
         let occ = report.occupancy(0);
         assert!((0.5..=1.0).contains(&occ), "occupancy {occ}");
         assert_eq!(report.active_cycles[0], report.firings[0]);
+    }
+
+    #[test]
+    fn try_simulate_matches_simulate_on_healthy_hardware() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(&dot(256), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        let direct = simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default());
+        let checked =
+            try_simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default()).unwrap();
+        assert_eq!(direct, checked);
+    }
+
+    #[test]
+    fn try_simulate_rejects_schedule_on_dead_node() {
+        let mut adg = presets::softbrain();
+        let ck = compile_kernel(&dot(256), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(s.is_legal());
+        // Kill a node the schedule uses, then simulate the *stale* schedule.
+        let victim = s
+            .schedule
+            .placement
+            .iter()
+            .flatten()
+            .copied()
+            .next()
+            .expect("something is placed");
+        adg.remove_node(victim).unwrap();
+        let err = try_simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default())
+            .expect_err("stale schedule must be rejected");
+        match err {
+            SimError::MissingNode { node, .. } => assert_eq!(node, victim),
+            // Removing the node also removes its edges, so a route may be
+            // caught first — equally acceptable.
+            SimError::MissingEdge { .. } => {}
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn try_simulate_rejects_schedule_on_severed_link() {
+        let mut adg = presets::softbrain();
+        let ck = compile_kernel(&dot(256), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        let used_edge = s
+            .schedule
+            .routes
+            .values()
+            .flatten()
+            .copied()
+            .next()
+            .expect("something is routed");
+        adg.remove_edge(used_edge).unwrap();
+        let err = try_simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default())
+            .expect_err("stale route must be rejected");
+        assert!(
+            matches!(err, SimError::MissingEdge { edge, .. } if edge == used_edge),
+            "unexpected error {err}"
+        );
     }
 
     #[test]

@@ -213,3 +213,78 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Fault-injection properties over every preset: structural cases are
+    // cheap, so a generous case count covers many (preset, plan) pairs.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fault_injection_always_yields_valid_hardware(
+        seed in any::<u64>(),
+        count in 0usize..12,
+        which in 0usize..7,
+    ) {
+        use dsagen::faults::{inject, FaultPlan};
+        let all = [
+            presets::softbrain(),
+            presets::spu(),
+            presets::dse_initial(),
+            presets::maeri(),
+            presets::triggered(),
+            presets::revel(),
+            presets::plasticine(),
+        ];
+        let adg = &all[which];
+        let plan = FaultPlan::random(seed, count);
+        let (faulty, report) = inject(adg, &plan);
+        // Degraded hardware is still legal hardware.
+        prop_assert!(faulty.validate().is_ok(), "{}: {:?}", adg.name(), faulty.validate());
+        // Every requested fault is accounted for: applied or skipped-with-reason.
+        prop_assert_eq!(report.applied.len() + report.skipped.len(), plan.faults.len());
+        // Injection never touches the input graph.
+        prop_assert!(adg.validate().is_ok());
+        // Determinism: the same plan reproduces the same degraded graph.
+        let (again, report2) = inject(adg, &plan);
+        prop_assert_eq!(&faulty, &again);
+        prop_assert_eq!(report.applied.len(), report2.applied.len());
+    }
+}
+
+proptest! {
+    // Each case schedules + repairs + simulates, so keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn codesign_pipeline_never_panics_under_faults(seed in any::<u64>(), count in 1usize..8) {
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        use dsagen::faults::{inject, FaultPlan};
+        use dsagen::scheduler::{repair_with_escalation, schedule, SchedulerConfig};
+        use dsagen::sim::{try_simulate, SimConfig};
+
+        let adg = presets::softbrain();
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let cfg = SchedulerConfig { max_iters: 40, patience: 40, ..SchedulerConfig::default() };
+        let first = schedule(&adg, &ck, &cfg);
+
+        let plan = FaultPlan::random(seed, count);
+        let (faulty, _report) = inject(&adg, &plan);
+
+        // Repair on degraded hardware must terminate without panicking,
+        // legal or not.
+        let repaired = repair_with_escalation(&faulty, &ck, &first.schedule, &cfg, 2);
+        if repaired.is_legal() {
+            // A legal repaired schedule simulates cleanly on the degraded
+            // hardware.
+            let sim = try_simulate(
+                &faulty, &ck, &repaired.schedule, &repaired.eval, 4, &SimConfig::default(),
+            );
+            prop_assert!(sim.is_ok(), "legal schedule rejected: {:?}", sim.err());
+        }
+        // The *stale* pre-fault schedule must produce a typed result on the
+        // degraded hardware — an error is fine, an index panic is not.
+        let _ = try_simulate(&faulty, &ck, &first.schedule, &first.eval, 4, &SimConfig::default());
+    }
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Provides `Criterion`, `Bencher::iter`/`iter_batched`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros. Measurement is a plain
+//! wall-clock mean over `sample_size` batches — no statistics, plots, or
+//! outlier analysis. Enough to run `cargo bench` offline and spot
+//! order-of-magnitude regressions.
+
+use std::time::{Duration, Instant};
+
+/// Re-exported so call sites can spell `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted and ignored).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Setup re-runs for every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.total.as_nanos() as f64 / b.iters as f64
+        };
+        println!("bench {name:<40} {mean_ns:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.total += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_counts_iterations() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn iter_batched_feeds_setup_output() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut sum = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |v| sum += v, BatchSize::LargeInput)
+        });
+        assert_eq!(sum, 42);
+    }
+}

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored crate reimplements exactly the API surface the DSAGEN
+//! workspace consumes: [`rngs::StdRng`] (a deterministic xoshiro256**),
+//! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`]/[`Rng::gen_bool`],
+//! and [`seq::SliceRandom`] (`choose`/`shuffle`).
+//!
+//! Determinism is the only contract that matters to the workspace (every
+//! scheduler/DSE run is seeded); the exact stream does *not* match the
+//! upstream `rand` crate.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Rngs that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a single `u64` seed (expanded internally
+    /// with splitmix64, as upstream does).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                let v = u128::from(rng.next_u64()) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniformly samples from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // Avoid the all-zero degenerate state.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Random operations on slices.
+pub mod seq {
+    use super::RngCore;
+
+    /// `choose` and `shuffle` on slices.
+    pub trait SliceRandom {
+        /// The slice's element type.
+        type Item;
+
+        /// A uniformly chosen element, or `None` for an empty slice.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                let i = (rng.next_u64() % self.len() as u64) as usize;
+                self.get(i)
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0..1_000_000u64), b.gen_range(0..1_000_000u64));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let w = rng.gen_range(1..=3usize);
+            assert!((1..=3).contains(&w));
+            let f = rng.gen_range(-1.5..1.5);
+            assert!((-1.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u16_inclusive_range_hits_extremes_eventually() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lo = u16::MAX;
+        let mut hi = 0u16;
+        for _ in 0..20_000 {
+            let v = rng.gen_range(0u16..=u16::MAX);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 1000, "lo {lo}");
+        assert!(hi > 64_000, "hi {hi}");
+    }
+
+    #[test]
+    fn gen_bool_probability_roughly_holds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..32).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The derives accept (and discard) `#[serde(...)]` helper attributes so
+//! annotations like `#[serde(skip)]` keep compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
