@@ -481,7 +481,7 @@ impl Default for CtrlSpec {
 }
 
 /// The kind and parameters of one ADG node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(clippy::large_enum_variant)]
 pub enum NodeKind {
     /// Processing element.

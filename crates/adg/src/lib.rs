@@ -46,6 +46,7 @@ mod components;
 mod dot;
 mod error;
 mod features;
+mod fingerprint;
 mod graph;
 mod ids;
 mod op;
@@ -59,6 +60,7 @@ pub use components::{
 };
 pub use error::AdgError;
 pub use features::FeatureSet;
+pub use fingerprint::{stable_hash_of, StableHasher};
 pub use graph::{Adg, Edge, Node};
 pub use ids::{EdgeId, NodeId};
 pub use op::{OpSet, Opcode};

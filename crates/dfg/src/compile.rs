@@ -95,6 +95,64 @@ impl CompiledKernel {
     pub fn inst_count(&self) -> usize {
         self.regions.iter().map(|r| r.dfg.inst_count()).sum()
     }
+
+    /// A stable 64-bit content hash of the compiled kernel.
+    ///
+    /// Covers the kernel name, the transformation configuration, the
+    /// hardware requirements, and — per region — the region name, the full
+    /// [`Dfg`] content ([`Dfg::content_hash`]), every in/out stream, and
+    /// the region's firing statistics. Floats are hashed bit-exactly.
+    ///
+    /// Two compiled versions hash equal iff the scheduler and the
+    /// performance model would see identical inputs, which is exactly the
+    /// contract the DSE schedule cache needs: it memoizes scheduling work
+    /// under the key `(adg fingerprint, compiled-kernel hash)`.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = dsagen_adg::StableHasher::new();
+        self.name.hash(&mut h);
+        let c = &self.config;
+        h.write_u16(c.unroll);
+        h.write_u8(
+            u8::from(c.stream_join)
+                | (u8::from(c.indirect) << 1)
+                | (u8::from(c.atomic_update) << 2)
+                | (u8::from(c.forward) << 3)
+                | (u8::from(c.window_ports) << 4)
+                | (u8::from(c.sub_word) << 5),
+        );
+        let r = &self.requires;
+        h.write_u32(r.stream_join_pes);
+        h.write_u32(r.instruction_slots);
+        r.ops.hash(&mut h);
+        h.write_u8(
+            u8::from(r.indirect_memory)
+                | (u8::from(r.atomic_update) << 1)
+                | (u8::from(r.scalar_core) << 2)
+                | (u8::from(r.decomposable) << 3),
+        );
+        h.write_u64(self.forwarded_bytes.to_bits());
+        h.write_usize(self.regions.len());
+        for region in &self.regions {
+            region.name.hash(&mut h);
+            region.dfg.hash_content(&mut h);
+            h.write_usize(region.in_streams.len());
+            for s in &region.in_streams {
+                s.hash_content(&mut h);
+            }
+            h.write_usize(region.out_streams.len());
+            for s in &region.out_streams {
+                s.hash_content(&mut h);
+            }
+            h.write_u64(region.instances.to_bits());
+            h.write_u64(region.ctrl_ops.to_bits());
+            h.write_u64(region.exec_freq.to_bits());
+            h.write_u16(region.unroll);
+            h.write_u8(u8::from(region.pipelined_with_next));
+        }
+        h.finish()
+    }
 }
 
 /// Compiles `kernel` under `cfg` for hardware with `features`.

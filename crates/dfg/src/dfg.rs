@@ -1,6 +1,7 @@
 //! The compiled dataflow graph: the compute half of a decoupled region.
 
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use dsagen_adg::{BitWidth, Opcode};
 use serde::{Deserialize, Serialize};
@@ -280,6 +281,83 @@ impl Dfg {
         ports.sort_unstable();
         ports.dedup();
         ports
+    }
+
+    /// Feeds the graph's full content — every op (with an explicit variant
+    /// tag), its width, and every recurrence — into `h` in id order.
+    pub fn hash_content<H: Hasher>(&self, h: &mut H) {
+        h.write_usize(self.ops.len());
+        for (op, width) in &self.ops {
+            op.hash_content(h);
+            width.hash(h);
+        }
+        h.write_usize(self.recurrences.len());
+        for rec in &self.recurrences {
+            rec.through.hash(h);
+            // f64 has no Hash; the bit pattern is the content.
+            h.write_u64(rec.independent_chains.to_bits());
+        }
+    }
+
+    /// A stable 64-bit content hash of the graph.
+    ///
+    /// Two graphs with the same ops (in the same topological id order),
+    /// widths, and recurrences hash equal; any structural difference —
+    /// an opcode, an operand id, a port, a constant, a width — changes the
+    /// digest. Computed with [`dsagen_adg::StableHasher`], so the value is
+    /// identical across runs and platforms and is safe as a memoization
+    /// key (the DSE schedule cache keys on `(adg fingerprint, dfg hash)`).
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        let mut h = dsagen_adg::StableHasher::new();
+        self.hash_content(&mut h);
+        h.finish()
+    }
+}
+
+impl DfgOp {
+    /// Feeds this op's variant tag and fields into `h` — an explicit,
+    /// stable encoding (independent of `#[derive(Hash)]` discriminant
+    /// details) used by [`Dfg::content_hash`].
+    pub fn hash_content<H: Hasher>(&self, h: &mut H) {
+        match self {
+            DfgOp::Input { port } => {
+                h.write_u8(0);
+                h.write_usize(*port);
+            }
+            DfgOp::Const(v) => {
+                h.write_u8(1);
+                h.write_i64(*v);
+            }
+            DfgOp::Compute { op, ins } => {
+                h.write_u8(2);
+                op.hash(h);
+                h.write_usize(ins.len());
+                for i in ins {
+                    i.hash(h);
+                }
+            }
+            DfgOp::Accum {
+                op,
+                input,
+                reset_every,
+            } => {
+                h.write_u8(3);
+                op.hash(h);
+                input.hash(h);
+                h.write_u64(*reset_every);
+            }
+            DfgOp::StreamJoin { left, right } => {
+                h.write_u8(4);
+                left.hash(h);
+                right.hash(h);
+            }
+            DfgOp::Output { port, input } => {
+                h.write_u8(5);
+                h.write_usize(*port);
+                input.hash(h);
+            }
+        }
     }
 }
 

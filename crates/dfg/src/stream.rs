@@ -156,6 +156,37 @@ impl Stream {
     pub fn bytes_per_firing(&self) -> f64 {
         f64::from(self.lanes) * f64::from(self.elem_bytes)
     }
+
+    /// Feeds the stream's full content into `h` with explicit variant tags
+    /// and bit-exact floats — part of `CompiledKernel::content_hash`.
+    pub fn hash_content<H: std::hash::Hasher>(&self, h: &mut H) {
+        h.write_usize(self.port);
+        h.write_u8(match self.dir {
+            StreamDir::Read => 0,
+            StreamDir::Write => 1,
+            StreamDir::AtomicUpdate => 2,
+        });
+        h.write_u32(self.elem_bytes);
+        h.write_u16(self.lanes);
+        h.write_u64(self.pattern.elems_per_command.to_bits());
+        h.write_u64(self.pattern.commands);
+        h.write_i64(self.pattern.stride_bytes);
+        h.write_u8(u8::from(self.pattern.inductive) | (u8::from(self.pattern.indirect) << 1));
+        match self.source {
+            StreamSource::Memory(MemClass::MainMemory) => h.write_u8(0),
+            StreamSource::Memory(MemClass::Scratchpad) => h.write_u8(1),
+            StreamSource::Forward {
+                from_region,
+                from_port,
+            } => {
+                h.write_u8(2);
+                h.write_usize(from_region);
+                h.write_usize(from_port);
+            }
+            StreamSource::ControlCore => h.write_u8(3),
+        }
+        h.write_u8(u8::from(self.to_fabric));
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! Schedule memoization for the design-space explorer.
+//!
+//! The DSE loop revisits designs constantly: every rejected mutation is
+//! reverted to the previous ADG, parallel shards converge on the same
+//! structures, and many mutations touch hardware no kernel is mapped onto.
+//! Re-running the stochastic scheduler in all of those cases is pure
+//! waste — scheduling is deterministic given `(ADG, compiled kernel,
+//! scheduler seed)`, so the result of a previous run can be replayed.
+//!
+//! [`ScheduleCache`] memoizes scheduling outcomes keyed by
+//! `(Adg::fingerprint, CompiledKernel::content_hash)`:
+//!
+//! * **Exact hits** — the `(hardware, kernel)` pair was scheduled before
+//!   (typically after a reverted mutation). The cached schedule *and* the
+//!   cached modeled performance are reused wholesale. This is sound
+//!   because both the scheduler and the performance/config-path models are
+//!   deterministic functions of the fingerprinted inputs and the
+//!   explorer-fixed seed.
+//! * **Footprint hits** — the ADG changed, but the subgraph the previous
+//!   schedule occupies ([`schedule_footprint`]) is byte-identical
+//!   ([`Adg::footprint_fingerprint`]). The placement/routing decision is
+//!   *rebased* onto the mutated graph and its evaluation and performance
+//!   are recomputed honestly; only the stochastic search is skipped. If
+//!   the rebased schedule turns out infeasible the explorer falls back to
+//!   a full scheduling pass, so footprint reuse can never mask a broken
+//!   schedule.
+//! * **Misses** — a genuinely new design point; the stochastic scheduler
+//!   runs and its outcome (legal or not — negative results are cached too)
+//!   is inserted for the future.
+//!
+//! Caches are per-explorer (and per-shard in parallel runs): the scheduler
+//! seed participates in the memoized computation, so entries must not leak
+//! across explorers with different seeds.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dsagen_adg::{Adg, EdgeId, NodeId};
+use dsagen_scheduler::Schedule;
+
+/// Hit/miss accounting for a [`ScheduleCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered wholesale from a memoized `(adg, kernel)` entry.
+    pub exact_hits: u64,
+    /// Lookups answered by rebasing a prior schedule whose hardware
+    /// footprint survived the mutation intact (objective recomputed).
+    pub footprint_hits: u64,
+    /// Lookups that fell through to a full stochastic scheduling pass.
+    pub misses: u64,
+    /// Entries written (one per miss or footprint rebase).
+    pub insertions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.exact_hits + self.footprint_hits + self.misses
+    }
+
+    /// Fraction of lookups that avoided a stochastic scheduling pass
+    /// (exact + footprint hits). Zero when no lookup has happened.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            (self.exact_hits + self.footprint_hits) as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another stats block into this one (shard reduction).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.exact_hits += other.exact_hits;
+        self.footprint_hits += other.footprint_hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+    }
+}
+
+/// One memoized scheduling outcome.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// The schedule the scheduler produced (possibly partial/illegal —
+    /// kept either way so repair can start from it after a revert).
+    pub schedule: Schedule,
+    /// Modeled kernel performance when the schedule was legal; `None`
+    /// records a *negative* result (this version does not map onto this
+    /// hardware), which spares revisits the same doomed search.
+    pub perf: Option<f64>,
+    /// [`schedule_footprint`] of the schedule on the ADG it was minted
+    /// against (legal schedules only).
+    pub footprint: Option<u64>,
+}
+
+/// Memoized scheduling outcomes keyed by
+/// `(Adg::fingerprint, CompiledKernel::content_hash)`.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleCache {
+    entries: HashMap<(u64, u64), CacheEntry>,
+    stats: CacheStats,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// Looks up the outcome memoized for `(adg_fp, kernel_hash)`,
+    /// recording an exact hit when present. A `None` return records
+    /// nothing — the caller decides between
+    /// [`ScheduleCache::note_footprint_hit`] and
+    /// [`ScheduleCache::note_miss`].
+    pub fn lookup(&mut self, adg_fp: u64, kernel_hash: u64) -> Option<&CacheEntry> {
+        let entry = self.entries.get(&(adg_fp, kernel_hash));
+        if entry.is_some() {
+            self.stats.exact_hits += 1;
+        }
+        entry
+    }
+
+    /// Records that a lookup was answered by rebasing a footprint-intact
+    /// previous schedule instead of a full scheduling pass.
+    pub fn note_footprint_hit(&mut self) {
+        self.stats.footprint_hits += 1;
+    }
+
+    /// Records that a lookup fell through to the stochastic scheduler.
+    pub fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Inserts (or overwrites) the outcome for `(adg_fp, kernel_hash)`.
+    pub fn insert(&mut self, adg_fp: u64, kernel_hash: u64, entry: CacheEntry) {
+        self.stats.insertions += 1;
+        self.entries.insert((adg_fp, kernel_hash), entry);
+    }
+
+    /// Hit/miss counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Folds another cache's counters into this one (shard reduction).
+    pub fn absorb_stats(&mut self, other: &CacheStats) {
+        self.stats.absorb(other);
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The stable fingerprint of the hardware subgraph `schedule` occupies on
+/// `adg`: every placed node, every routed ADG edge, and each routed edge's
+/// endpoint nodes (so a re-parameterized intermediate switch is detected
+/// even when the edge itself survives). Returns `None` when any part of
+/// the footprint no longer exists — the schedule cannot be rebased.
+#[must_use]
+pub fn schedule_footprint(adg: &Adg, schedule: &Schedule) -> Option<u64> {
+    let mut nodes: BTreeSet<NodeId> = schedule.placement.iter().copied().flatten().collect();
+    let mut edges: BTreeSet<EdgeId> = BTreeSet::new();
+    for path in schedule.routes.values() {
+        for &eid in path {
+            edges.insert(eid);
+            let e = adg.edge(eid)?;
+            nodes.insert(e.src);
+            nodes.insert(e.dst);
+        }
+    }
+    adg.footprint_fingerprint(nodes, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::{presets, BitWidth, SwitchSpec};
+    use dsagen_dfg::{compile_kernel, TransformConfig};
+    use dsagen_scheduler::{schedule, SchedulerConfig};
+
+    use super::*;
+    use crate::explorer::tests::small_kernels;
+
+    #[test]
+    fn stats_hit_rate_arithmetic() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.exact_hits = 3;
+        s.footprint_hits = 1;
+        s.misses = 4;
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+        let mut t = CacheStats::default();
+        t.absorb(&s);
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn lookup_insert_roundtrip_counts() {
+        let mut c = ScheduleCache::new();
+        assert!(c.lookup(1, 2).is_none());
+        c.note_miss();
+        c.insert(
+            1,
+            2,
+            CacheEntry {
+                schedule: Schedule::default(),
+                perf: Some(1.5),
+                footprint: None,
+            },
+        );
+        let hit = c.lookup(1, 2).expect("entry just inserted");
+        assert_eq!(hit.perf, Some(1.5));
+        let stats = c.stats();
+        assert_eq!(stats.exact_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn footprint_survives_unrelated_mutation_and_dies_with_its_hardware() {
+        let adg = presets::softbrain();
+        let kernel = &small_kernels()[0];
+        let ck = compile_kernel(kernel, &TransformConfig::fallback(), &adg.features())
+            .expect("axpy compiles on softbrain");
+        let result = schedule(&adg, &ck, &SchedulerConfig::default());
+        assert!(result.is_legal(), "fixture must schedule");
+        let fp = schedule_footprint(&adg, &result.schedule).expect("live footprint");
+
+        // An unconnected switch elsewhere leaves the footprint intact.
+        let mut grown = adg.clone();
+        grown.add_switch(SwitchSpec::new(BitWidth::B64));
+        assert_eq!(schedule_footprint(&grown, &result.schedule), Some(fp));
+
+        // Removing a placed node destroys it.
+        let mut cut = adg.clone();
+        let placed = result
+            .schedule
+            .placement
+            .iter()
+            .copied()
+            .flatten()
+            .next()
+            .expect("legal schedule places something");
+        let _ = cut.remove_node(placed);
+        assert_eq!(schedule_footprint(&cut, &result.schedule), None);
+    }
+}

@@ -1,4 +1,17 @@
-//! The iterative codesign loop (§V).
+//! The iterative codesign loop (§V), sharded and memoized.
+//!
+//! [`Explorer::run`] executes one or more *shards* — independent
+//! deterministic searches from seed-perturbed frontiers — on a configurable
+//! number of worker threads, then merges the shard results with a
+//! deterministic reduction. Shard 0 always uses the configured seed
+//! unchanged, so `shards = 1` reproduces the classic serial explorer
+//! step-for-step, and the merged outcome depends only on `(seed, shards)`,
+//! never on thread scheduling.
+//!
+//! Candidate evaluation memoizes scheduling work in a [`ScheduleCache`]:
+//! revisited designs (reverted mutations) replay wholesale, and mutations
+//! that leave a kernel's mapped footprint untouched rebase the previous
+//! schedule instead of re-running the stochastic search.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -8,10 +21,14 @@ use dsagen_adg::{Adg, FeatureSet, OpSet};
 use dsagen_dfg::{compile_kernel, enumerate_configs, CompiledKernel, Kernel};
 use dsagen_hwgen::generate_config_paths;
 use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
-use dsagen_scheduler::{repair_with_escalation, schedule, Schedule, SchedulerConfig};
+use dsagen_scheduler::{
+    evaluate as evaluate_schedule, repair_with_escalation, schedule, Problem, Schedule,
+    SchedulerConfig,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cache::{schedule_footprint, CacheEntry, CacheStats, ScheduleCache};
 use crate::mutate::mutate;
 
 /// Explorer tunables.
@@ -35,6 +52,21 @@ pub struct DseConfig {
     /// Use schedule *repair* across steps (true) or re-map every schedule
     /// from scratch (false) — the Fig 11 comparison.
     pub use_repair: bool,
+    /// Memoize scheduling outcomes in a [`ScheduleCache`] (exact replay of
+    /// revisited designs, footprint-based rebasing of untouched mappings).
+    /// Disable to measure raw scheduling cost in ablations.
+    pub use_cache: bool,
+    /// Independent exploration shards. Each shard is a full deterministic
+    /// search from a seed-perturbed frontier; shard results merge with a
+    /// deterministic reduction, so the outcome depends only on
+    /// `(seed, shards)`. `0` means "one shard per worker thread". Shard 0
+    /// always keeps `seed` unchanged, so `shards = 1` reproduces the
+    /// serial explorer exactly.
+    pub shards: usize,
+    /// Worker threads executing shards — purely an executor width. For a
+    /// fixed `(seed, shards)` the result is byte-identical for any thread
+    /// count. Defaults to `DSAGEN_DSE_THREADS` (or 1 when unset).
+    pub threads: usize,
     /// Wall-clock budget per candidate evaluation, in milliseconds. A step
     /// that exceeds it is rejected with [`RejectReason::TimedOut`] and the
     /// design reverted, so one pathological candidate cannot stall the
@@ -44,6 +76,15 @@ pub struct DseConfig {
     /// exploration step, to exercise the panic isolation without touching
     /// library code. `None` (always, in production) disables it.
     pub panic_at_iter: Option<u32>,
+}
+
+/// Worker-thread default: `DSAGEN_DSE_THREADS`, or 1.
+fn env_threads() -> usize {
+    std::env::var("DSAGEN_DSE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for DseConfig {
@@ -57,9 +98,33 @@ impl Default for DseConfig {
             power_budget_mw: 2000.0,
             max_unroll: 8,
             use_repair: true,
+            use_cache: true,
+            shards: 0,
+            threads: env_threads(),
             eval_budget_ms: None,
             panic_at_iter: None,
         }
+    }
+}
+
+/// splitmix64 — used to derive statistically independent shard seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The seed shard `shard` explores from. Shard 0 keeps the configured
+/// seed unchanged (serial-compatibility invariant); later shards perturb
+/// it through splitmix64 so their searches diverge immediately.
+#[must_use]
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    if shard == 0 {
+        seed
+    } else {
+        splitmix64(seed ^ (shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 }
 
@@ -121,14 +186,18 @@ pub struct IterRecord {
 /// Final result of an exploration run.
 #[derive(Debug, Clone)]
 pub struct DseResult {
-    /// The best design found.
+    /// The best design found (across all shards).
     pub best_adg: Adg,
     /// Its evaluation.
     pub best: DsePoint,
-    /// The initial design's evaluation.
+    /// The initial design's evaluation (as seen by the winning shard).
     pub initial: DsePoint,
-    /// Full per-step trace.
+    /// Full per-step trace of the winning shard.
     pub trace: Vec<IterRecord>,
+    /// Every shard's full trace, indexed by shard number (a shard that
+    /// panicked wholesale contributes an empty trace). For a serial run
+    /// this is a single-element vector equal to [`DseResult::trace`].
+    pub shard_traces: Vec<Vec<IterRecord>>,
 }
 
 impl DseResult {
@@ -161,13 +230,22 @@ pub struct DsePoint {
 }
 
 /// The design-space explorer: owns the evolving ADG, the compiled kernel
-/// versions, and the persistent schedules being repaired.
+/// versions, the persistent schedules being repaired, and the schedule
+/// memoization cache.
 #[derive(Debug)]
 pub struct Explorer {
     cfg: DseConfig,
     adg: Adg,
     versions: Vec<Vec<CompiledKernel>>,
+    /// `CompiledKernel::content_hash` per version — half the cache key.
+    version_hashes: Vec<Vec<u64>>,
     schedules: HashMap<(usize, usize), Schedule>,
+    /// Footprint fingerprint of the last *legal* schedule per version,
+    /// minted on the ADG it was scheduled against.
+    footprints: HashMap<(usize, usize), u64>,
+    cache: ScheduleCache,
+    /// Stochastic scheduling passes actually executed (cache misses).
+    sched_invocations: u64,
     rng: StdRng,
     area_model: AreaPowerModel,
     perf_model: PerfModel,
@@ -199,13 +277,21 @@ impl Explorer {
             }
             versions.push(vs);
         }
+        let version_hashes = versions
+            .iter()
+            .map(|vs| vs.iter().map(CompiledKernel::content_hash).collect())
+            .collect();
 
         Explorer {
             rng: StdRng::seed_from_u64(cfg.seed),
             cfg,
             adg,
             versions,
+            version_hashes,
             schedules: HashMap::new(),
+            footprints: HashMap::new(),
+            cache: ScheduleCache::new(),
+            sched_invocations: 0,
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops,
@@ -218,14 +304,36 @@ impl Explorer {
         &self.adg
     }
 
+    /// Schedule-cache hit/miss counters (aggregated across shards after a
+    /// sharded [`Explorer::run`]).
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Stochastic scheduling passes executed so far (aggregated across
+    /// shards after a sharded run). Every cache hit is a pass *not*
+    /// counted here — the quantity the memoization exists to minimize.
+    #[must_use]
+    pub fn sched_invocations(&self) -> u64 {
+        self.sched_invocations
+    }
+
     /// Evaluates the current design: schedules every satisfiable version
     /// of every kernel (repairing previous schedules where enabled), picks
     /// the best legal version per kernel by modeled performance, and
     /// computes perf²/mm² (§V steps 2b–2d).
+    ///
+    /// Scheduling work is memoized (see [`ScheduleCache`]): a revisited
+    /// `(hardware, kernel)` pair replays its cached outcome, and a
+    /// mutation that leaves a kernel's mapped footprint byte-identical
+    /// rebases the previous schedule (recomputing its evaluation and
+    /// modeled performance honestly) instead of re-running the search.
     pub fn evaluate(&mut self) -> DsePoint {
         let features = self.adg.features();
         let cost = self.area_model.estimate_adg(&self.adg);
         let config_len = generate_config_paths(&self.adg, 4, self.cfg.seed).longest() as u32;
+        let adg_fp = self.adg.fingerprint();
 
         let sched_cfg = SchedulerConfig {
             max_iters: self.cfg.sched_iters,
@@ -243,6 +351,82 @@ impl Explorer {
                     continue;
                 }
                 let key = (ki, vi);
+                let ck_hash = self.version_hashes[ki][vi];
+
+                // 1) Exact replay: this (hardware, kernel) pair has been
+                //    scheduled before — typically right after a reverted
+                //    mutation restored the previous fingerprint.
+                if self.cfg.use_cache {
+                    if let Some(entry) = self.cache.lookup(adg_fp, ck_hash) {
+                        let cached_sched = entry.schedule.clone();
+                        let cached_perf = entry.perf;
+                        let cached_fp = entry.footprint;
+                        self.schedules.insert(key, cached_sched);
+                        match cached_fp {
+                            Some(f) => {
+                                self.footprints.insert(key, f);
+                            }
+                            None => {
+                                self.footprints.remove(&key);
+                            }
+                        }
+                        if let Some(perf) = cached_perf {
+                            if best.is_none_or(|(_, p)| perf > p) {
+                                best = Some((vi, perf));
+                            }
+                        }
+                        continue;
+                    }
+                }
+
+                // 2) Footprint rebase: the hardware changed, but every
+                //    node/edge this version's previous legal schedule
+                //    occupies is byte-identical. Skip the stochastic
+                //    search; re-check legality and recompute the modeled
+                //    performance honestly on the mutated graph.
+                if self.cfg.use_cache {
+                    let rebased = match (self.schedules.get(&key), self.footprints.get(&key)) {
+                        (Some(prev), Some(&want))
+                            if schedule_footprint(&self.adg, prev) == Some(want) =>
+                        {
+                            let problem = Problem::new(&self.adg, version);
+                            let eval = evaluate_schedule(&problem, prev, &sched_cfg.weights);
+                            if eval.feasible {
+                                let est = self.perf_model.estimate(
+                                    &self.adg,
+                                    version,
+                                    prev,
+                                    &eval,
+                                    config_len,
+                                );
+                                Some((prev.clone(), est.perf(), want))
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    };
+                    if let Some((sched, perf, fp)) = rebased {
+                        self.cache.note_footprint_hit();
+                        self.cache.insert(
+                            adg_fp,
+                            ck_hash,
+                            CacheEntry {
+                                schedule: sched,
+                                perf: Some(perf),
+                                footprint: Some(fp),
+                            },
+                        );
+                        if best.is_none_or(|(_, p)| perf > p) {
+                            best = Some((vi, perf));
+                        }
+                        continue;
+                    }
+                    self.cache.note_miss();
+                }
+
+                // 3) Full stochastic scheduling pass.
+                self.sched_invocations += 1;
                 let result = if self.cfg.use_repair {
                     match self.schedules.remove(&key) {
                         // Repair with bounded retry-with-escalation: a
@@ -257,6 +441,7 @@ impl Explorer {
                 } else {
                     schedule(&self.adg, version, &sched_cfg)
                 };
+                let mut perf_out = None;
                 if result.is_legal() {
                     let est = self.perf_model.estimate(
                         &self.adg,
@@ -266,9 +451,34 @@ impl Explorer {
                         config_len,
                     );
                     let perf = est.perf();
+                    perf_out = Some(perf);
                     if best.is_none_or(|(_, p)| perf > p) {
                         best = Some((vi, perf));
                     }
+                }
+                let fp = if perf_out.is_some() {
+                    schedule_footprint(&self.adg, &result.schedule)
+                } else {
+                    None
+                };
+                match fp {
+                    Some(f) => {
+                        self.footprints.insert(key, f);
+                    }
+                    None => {
+                        self.footprints.remove(&key);
+                    }
+                }
+                if self.cfg.use_cache {
+                    self.cache.insert(
+                        adg_fp,
+                        ck_hash,
+                        CacheEntry {
+                            schedule: result.schedule.clone(),
+                            perf: perf_out,
+                            footprint: fp,
+                        },
+                    );
                 }
                 self.schedules.insert(key, result.schedule);
             }
@@ -382,16 +592,32 @@ impl Explorer {
         }
     }
 
-    /// Runs the full exploration loop. Starts from the current ADG,
-    /// mutates, evaluates with repaired schedules, accepts improvements,
-    /// reverts regressions (§V step 2e), and stops after `patience` steps
-    /// without improvement or `max_iters` total.
+    /// Runs the exploration. With one (effective) shard this is the classic
+    /// serial loop; with more, shards run as independent deterministic
+    /// searches on up to [`DseConfig::threads`] worker threads and merge
+    /// through [`Explorer::reduce_shards`]. Either way the result depends
+    /// only on `(seed, shards)` — never on thread count or scheduling.
+    pub fn run(&mut self) -> DseResult {
+        let shards = if self.cfg.shards == 0 {
+            self.cfg.threads.max(1)
+        } else {
+            self.cfg.shards
+        };
+        if shards <= 1 {
+            return self.run_serial();
+        }
+        self.run_sharded(shards)
+    }
+
+    /// The serial exploration loop (§V steps 1–2e): mutate, evaluate with
+    /// repaired + memoized schedules, accept improvements, revert
+    /// regressions, stop after `patience` stale steps or `max_iters`.
     ///
     /// Candidate evaluation is panic-isolated and time-budgeted (see
     /// [`Explorer::evaluate_candidate`]); every rejected step carries a
     /// [`RejectReason`] in its [`IterRecord`], so a run always completes
     /// with a full trace even if individual candidates crash.
-    pub fn run(&mut self) -> DseResult {
+    fn run_serial(&mut self) -> DseResult {
         let initial = self.evaluate();
         let mut trace = vec![IterRecord {
             iter: 0,
@@ -421,12 +647,14 @@ impl Explorer {
         });
         let mut best_adg = self.adg.clone();
         let mut best_schedules = self.schedules.clone();
+        let mut best_footprints = self.footprints.clone();
         let mut stale = 0u32;
 
         for iter in 1..=self.cfg.max_iters {
             // Mutate (redraw until something applies, bounded).
             let backup_adg = self.adg.clone();
             let backup_scheds = self.schedules.clone();
+            let backup_fps = self.footprints.clone();
             let mut mutated = false;
             for _ in 0..12 {
                 if mutate(&mut self.adg, &mut self.rng, &self.used_ops).is_some() {
@@ -456,6 +684,7 @@ impl Explorer {
                     best = point;
                     best_adg = self.adg.clone();
                     best_schedules = self.schedules.clone();
+                    best_footprints = self.footprints.clone();
                     stale = 0;
                     (true, None)
                 }
@@ -463,6 +692,7 @@ impl Explorer {
                     let reason = self.classify_rejection(&point);
                     self.adg = backup_adg;
                     self.schedules = backup_scheds;
+                    self.footprints = backup_fps;
                     stale += 1;
                     (false, Some(reason))
                 }
@@ -472,6 +702,7 @@ impl Explorer {
                     // the backed-up design wholesale and move on.
                     self.adg = backup_adg;
                     self.schedules = backup_scheds;
+                    self.footprints = backup_fps;
                     stale += 1;
                     (false, Some(reason))
                 }
@@ -492,11 +723,154 @@ impl Explorer {
 
         self.adg = best_adg.clone();
         self.schedules = best_schedules;
+        self.footprints = best_footprints;
         DseResult {
             best_adg,
             best,
             initial,
+            shard_traces: vec![trace.clone()],
             trace,
+        }
+    }
+
+    /// Builds the independent explorer that shard `shard` runs: same
+    /// prepared kernel versions and starting ADG, fresh schedules/cache,
+    /// and the shard-perturbed seed (see [`shard_seed`]).
+    fn fork_shard(&self, shard: usize) -> Explorer {
+        let seed = shard_seed(self.cfg.seed, shard);
+        let cfg = DseConfig {
+            seed,
+            shards: 1,
+            threads: 1,
+            ..self.cfg
+        };
+        Explorer {
+            rng: StdRng::seed_from_u64(seed),
+            cfg,
+            adg: self.adg.clone(),
+            versions: self.versions.clone(),
+            version_hashes: self.version_hashes.clone(),
+            schedules: HashMap::new(),
+            footprints: HashMap::new(),
+            cache: ScheduleCache::new(),
+            sched_invocations: 0,
+            area_model: AreaPowerModel::default(),
+            perf_model: PerfModel::default(),
+            used_ops: self.used_ops,
+        }
+    }
+
+    /// Runs `shards` independent searches on up to `cfg.threads` worker
+    /// threads (static round-robin shard→worker assignment; shard results
+    /// are independent of which worker ran them) and reduces.
+    fn run_sharded(&mut self, shards: usize) -> DseResult {
+        let threads = self.cfg.threads.max(1).min(shards);
+        let shard_exs: Vec<Explorer> = (0..shards).map(|s| self.fork_shard(s)).collect();
+
+        let mut outcomes: Vec<(usize, Option<(Explorer, DseResult)>)> = if threads == 1 {
+            shard_exs
+                .into_iter()
+                .enumerate()
+                .map(|(s, mut ex)| {
+                    let out = catch_unwind(AssertUnwindSafe(|| ex.run_serial())).ok();
+                    (s, out.map(|r| (ex, r)))
+                })
+                .collect()
+        } else {
+            let mut buckets: Vec<Vec<(usize, Explorer)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (s, ex) in shard_exs.into_iter().enumerate() {
+                buckets[s % threads].push((s, ex));
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        scope.spawn(move || {
+                            bucket
+                                .into_iter()
+                                .map(|(s, mut ex)| {
+                                    let out =
+                                        catch_unwind(AssertUnwindSafe(|| ex.run_serial())).ok();
+                                    (s, out.map(|r| (ex, r)))
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().unwrap_or_default())
+                    .collect()
+            })
+        };
+        outcomes.sort_by_key(|(s, _)| *s);
+        self.reduce_shards(shards, outcomes)
+    }
+
+    /// Deterministic shard reduction: the winner is the shard with the
+    /// highest best objective; ties break toward the smaller shard seed,
+    /// then the earlier accepting iteration — an ordering independent of
+    /// which thread finished first. The explorer adopts the winner's
+    /// design/schedules and aggregates every shard's cache counters.
+    fn reduce_shards(
+        &mut self,
+        shards: usize,
+        outcomes: Vec<(usize, Option<(Explorer, DseResult)>)>,
+    ) -> DseResult {
+        let mut shard_traces: Vec<Vec<IterRecord>> = vec![Vec::new(); shards];
+        let mut survivors: Vec<(usize, Explorer, DseResult)> = Vec::new();
+        for (s, out) in outcomes {
+            if let Some((ex, res)) = out {
+                shard_traces[s] = res.trace.clone();
+                survivors.push((s, ex, res));
+            }
+        }
+        assert!(
+            !survivors.is_empty(),
+            "all {shards} DSE shards panicked wholesale"
+        );
+
+        // Last iteration at which a shard's best improved — the final
+        // tie-break key.
+        let accept_iter = |res: &DseResult| -> u32 {
+            res.trace
+                .iter()
+                .filter(|r| r.accepted)
+                .map(|r| r.iter)
+                .next_back()
+                .unwrap_or(0)
+        };
+        let mut win = 0usize;
+        for i in 1..survivors.len() {
+            let (ws, _, wr) = &survivors[win];
+            let (cs, _, cr) = &survivors[i];
+            let (wobj, cobj) = (wr.best.objective, cr.best.objective);
+            let better = cobj > wobj
+                || (cobj == wobj
+                    && (shard_seed(self.cfg.seed, *cs) < shard_seed(self.cfg.seed, *ws)
+                        || (shard_seed(self.cfg.seed, *cs) == shard_seed(self.cfg.seed, *ws)
+                            && accept_iter(cr) < accept_iter(wr))));
+            if better {
+                win = i;
+            }
+        }
+
+        // Aggregate counters from every shard, then adopt the winner.
+        for (_, ex, _) in &survivors {
+            self.cache.absorb_stats(&ex.cache.stats());
+            self.sched_invocations += ex.sched_invocations();
+        }
+        let (_, wex, wres) = survivors.swap_remove(win);
+        self.adg = wex.adg;
+        self.schedules = wex.schedules;
+        self.footprints = wex.footprints;
+        DseResult {
+            best_adg: wres.best_adg,
+            best: wres.best,
+            initial: wres.initial,
+            trace: wres.trace,
+            shard_traces,
         }
     }
 }
@@ -517,8 +891,8 @@ pub fn max_feature_set(adg: &Adg) -> FeatureSet {
 }
 
 #[cfg(test)]
-mod tests {
-    use dsagen_adg::{presets, BitWidth, Opcode};
+pub(crate) mod tests {
+    use dsagen_adg::{presets, BitWidth, Opcode, SwitchSpec};
     use dsagen_dfg::{AffineExpr, KernelBuilder, MemClass, TripCount};
 
     use super::*;
@@ -558,7 +932,7 @@ mod tests {
         Ok(out)
     }
 
-    fn small_kernels() -> Vec<Kernel> {
+    pub(crate) fn small_kernels() -> Vec<Kernel> {
         match try_small_kernels() {
             Ok(ks) => ks,
             Err(e) => panic!("test kernel fixture failed to build: {e}"),
@@ -572,6 +946,17 @@ mod tests {
             sched_iters: 40,
             max_unroll: 4,
             ..DseConfig::default()
+        }
+    }
+
+    /// `quick_cfg` pinned to a single serial shard regardless of the
+    /// `DSAGEN_DSE_THREADS` environment — for tests whose assertions are
+    /// about the serial trace shape.
+    fn serial_cfg() -> DseConfig {
+        DseConfig {
+            shards: 1,
+            threads: 1,
+            ..quick_cfg()
         }
     }
 
@@ -652,7 +1037,7 @@ mod tests {
         let cfg = DseConfig {
             max_iters: 6,
             panic_at_iter: Some(2),
-            ..quick_cfg()
+            ..serial_cfg()
         };
         let result = explore(presets::dse_initial(), &small_kernels(), cfg);
         let panicked: Vec<_> = result
@@ -673,11 +1058,13 @@ mod tests {
     fn panic_rollback_keeps_search_deterministic() {
         // After a caught panic the explorer restores the pre-step ADG and
         // schedules, so the surviving iterations match a panic-free run
-        // step-for-step (modulo the panicked record itself).
-        let clean = explore(presets::dse_initial(), &small_kernels(), quick_cfg());
+        // step-for-step (modulo the panicked record itself). Pinned to a
+        // single serial shard: the comparison is about one search's
+        // history, not about shard reduction.
+        let clean = explore(presets::dse_initial(), &small_kernels(), serial_cfg());
         let cfg = DseConfig {
             panic_at_iter: Some(3),
-            ..quick_cfg()
+            ..serial_cfg()
         };
         let faulty = explore(presets::dse_initial(), &small_kernels(), cfg);
         assert_eq!(clean.trace.len(), faulty.trace.len());
@@ -697,7 +1084,7 @@ mod tests {
         let cfg = DseConfig {
             max_iters: 4,
             eval_budget_ms: Some(0),
-            ..quick_cfg()
+            ..serial_cfg()
         };
         let result = explore(presets::dse_initial(), &small_kernels(), cfg);
         // The initial evaluation is exempt (it seeds the search), but every
@@ -739,5 +1126,148 @@ mod tests {
         ] {
             assert_eq!(reason.to_string(), label);
         }
+    }
+
+    #[test]
+    fn shard_zero_keeps_the_configured_seed() {
+        assert_eq!(shard_seed(0xD5E, 0), 0xD5E);
+        // Later shards diverge, and distinct shards get distinct seeds.
+        let seeds: Vec<u64> = (0..8).map(|s| shard_seed(0xD5E, s)).collect();
+        for (i, a) in seeds.iter().enumerate() {
+            for b in &seeds[i + 1..] {
+                assert_ne!(a, b, "shard seeds must not collide");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_run_matches_legacy_serial_run() {
+        // `shards = 1` must reproduce the serial explorer exactly — the
+        // compatibility contract that keeps historical traces comparable.
+        let serial = explore(presets::dse_initial(), &small_kernels(), serial_cfg());
+        let auto = explore(
+            presets::dse_initial(),
+            &small_kernels(),
+            DseConfig {
+                shards: 1,
+                threads: 4, // executor width is irrelevant at one shard
+                ..quick_cfg()
+            },
+        );
+        assert_eq!(serial.trace, auto.trace);
+        assert_eq!(serial.best.objective, auto.best.objective);
+        assert_eq!(auto.shard_traces.len(), 1);
+        assert_eq!(auto.shard_traces[0], auto.trace);
+    }
+
+    #[test]
+    fn sharded_run_is_thread_count_invariant() {
+        // Same (seed, shards), different executor widths: byte-identical.
+        let mk = |threads: usize| {
+            explore(
+                presets::dse_initial(),
+                &small_kernels(),
+                DseConfig {
+                    shards: 3,
+                    threads,
+                    max_iters: 8,
+                    patience: 8,
+                    ..quick_cfg()
+                },
+            )
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert_eq!(one.trace, four.trace);
+        assert_eq!(one.shard_traces, four.shard_traces);
+        assert_eq!(one.best.objective.to_bits(), four.best.objective.to_bits());
+        assert_eq!(one.best_adg, four.best_adg);
+        assert_eq!(one.shard_traces.len(), 3);
+    }
+
+    #[test]
+    fn sharded_best_is_at_least_the_serial_best() {
+        // Shard 0 *is* the serial search, so adding shards can only help.
+        let serial = explore(presets::dse_initial(), &small_kernels(), serial_cfg());
+        let sharded = explore(
+            presets::dse_initial(),
+            &small_kernels(),
+            DseConfig {
+                shards: 2,
+                threads: 2,
+                ..quick_cfg()
+            },
+        );
+        assert!(
+            sharded.best.objective >= serial.best.objective - 1e-12,
+            "sharded {} < serial {}",
+            sharded.best.objective,
+            serial.best.objective
+        );
+    }
+
+    #[test]
+    fn revisited_designs_replay_from_the_cache() {
+        // Evaluating the same design twice must answer every version
+        // lookup from the cache the second time, with an identical point
+        // and no extra stochastic scheduling passes.
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let first = ex.evaluate();
+        let invocations = ex.sched_invocations();
+        assert!(invocations > 0);
+        let second = ex.evaluate();
+        assert_eq!(first, second, "cached replay must be bit-identical");
+        assert_eq!(
+            ex.sched_invocations(),
+            invocations,
+            "no new scheduling passes on a revisited design"
+        );
+        assert!(ex.cache_stats().exact_hits > 0);
+    }
+
+    #[test]
+    fn mutation_outside_mapped_footprint_skips_rescheduling() {
+        // Regression: `evaluate` used to re-run the stochastic scheduler
+        // for every kernel even when a mutation only touched components no
+        // schedule was mapped onto. Now the footprint fast path rebases
+        // the previous schedules and the scheduling-pass count stays flat.
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let first = ex.evaluate();
+        assert!(first.per_kernel.iter().all(Option::is_some));
+        let invocations = ex.sched_invocations();
+
+        // Mutate hardware no kernel can be mapped onto: an unconnected
+        // switch changes the graph fingerprint but no schedule footprint.
+        ex.adg.add_switch(SwitchSpec::new(BitWidth::B64));
+        let second = ex.evaluate();
+        assert!(second.per_kernel.iter().all(Option::is_some));
+        assert_eq!(
+            ex.sched_invocations(),
+            invocations,
+            "footprint-intact mutation must not re-run the scheduler"
+        );
+        let stats = ex.cache_stats();
+        assert!(
+            stats.footprint_hits > 0,
+            "expected footprint rebases, got {stats:?}"
+        );
+        assert!(stats.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn disabling_the_cache_restores_raw_scheduling() {
+        let cfg = DseConfig {
+            use_cache: false,
+            ..quick_cfg()
+        };
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), cfg);
+        let _ = ex.evaluate();
+        let invocations = ex.sched_invocations();
+        let _ = ex.evaluate();
+        assert!(
+            ex.sched_invocations() > invocations,
+            "cache disabled: every evaluation schedules afresh"
+        );
+        assert_eq!(ex.cache_stats().lookups(), 0);
     }
 }

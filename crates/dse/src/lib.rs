@@ -8,6 +8,15 @@
 //! area/power with the §V-C regression model, and keeps the change only if
 //! the `perf²/mm²` objective improves.
 //!
+//! Exploration is *sharded and memoized*: [`DseConfig::shards`] independent
+//! deterministic searches run on up to [`DseConfig::threads`] worker
+//! threads and merge through a deterministic reduction, so results depend
+//! only on `(seed, shards)` — never on thread scheduling. Scheduling work
+//! is cached in a [`ScheduleCache`] keyed by `(Adg::fingerprint,
+//! CompiledKernel::content_hash)`: reverted mutations replay wholesale and
+//! mutations outside a kernel's mapped footprint rebase the previous
+//! schedule instead of re-running the stochastic search.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -26,10 +35,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cache;
 mod explorer;
 mod mutate;
 
+pub use cache::{schedule_footprint, CacheEntry, CacheStats, ScheduleCache};
 pub use explorer::{
-    explore, max_feature_set, DseConfig, DsePoint, DseResult, Explorer, IterRecord, RejectReason,
+    explore, max_feature_set, shard_seed, DseConfig, DsePoint, DseResult, Explorer, IterRecord,
+    RejectReason,
 };
 pub use mutate::{mutate, Mutation};

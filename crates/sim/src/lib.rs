@@ -47,8 +47,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cosim;
 mod engine;
 
+pub use cosim::{simulate_functional, CoSimError, CoSimReport};
 pub use engine::{simulate, try_simulate};
 
 /// Why a simulation could not run: the schedule references hardware the

@@ -1,0 +1,384 @@
+//! Differential test harness: every workload kernel that compiles and
+//! schedules on a preset ADG is executed through the *co-simulator*
+//! ([`dsagen::sim::simulate_functional`]) and its functional outputs are
+//! compared against an independent run of the dataflow reference
+//! interpreter ([`dsagen::dfg::interp::execute`]) over the same seeded
+//! inputs.
+//!
+//! The cycle-level engine is value-free, so the differential contract has
+//! two halves that must hold together:
+//!
+//! * **delivery** — the timing engine accepts the schedule and fires every
+//!   region exactly its compiled instance count (a stalled or under-fired
+//!   region is how real hardware silently drops work);
+//! * **values** — the outputs produced by the verified execution are
+//!   bit-identical to the reference interpreter's.
+//!
+//! Kernels that legitimately fail to map on the target (e.g. no FP units)
+//! are recorded as `unmapped` and skipped; the test still requires a
+//! minimum number of verified kernels so the harness keeps its teeth. On
+//! any failure a per-kernel pass table is printed.
+
+use std::collections::BTreeMap;
+
+use dsagen::adg::Adg;
+use dsagen::dfg::interp::execute;
+use dsagen::prelude::*;
+use dsagen::sim::{simulate_functional, SimConfig};
+use dsagen::workloads::{all, data, Workload};
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        // Modest enumeration keeps the whole-suite sweep fast; the
+        // unroll-heavy versions are covered by the end-to-end tests.
+        max_unroll: 2,
+        scheduler: SchedulerConfig {
+            max_iters: 200,
+            ..SchedulerConfig::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+/// Seeded inputs per kernel, mirroring `tests/functional.rs`: index-like
+/// arrays (neighbor lists, sparse columns, scatter indices) must be valid,
+/// everything else is seeded dense data. Kernels not listed here run on
+/// zero-filled arrays, which every kernel accepts.
+fn seeded_inputs(name: &str) -> BTreeMap<String, Vec<f64>> {
+    let pairs: Vec<(&str, Vec<f64>)> = match name {
+        "mm" => vec![
+            ("a", data::dense_f64(64 * 64, -1.0, 1.0, 1)),
+            ("b", data::dense_f64(64 * 64, -1.0, 1.0, 2)),
+        ],
+        "stencil-2d" => vec![
+            ("src", data::dense_f64(130 * 130, 0.0, 1.0, 3)),
+            ("coef", data::dense_f64(9, -1.0, 1.0, 4)),
+        ],
+        "stencil-3d" => vec![(
+            "src",
+            data::dense_f64(32 * 32 * 16 + 2 * 32 * 32, -1.0, 1.0, 6),
+        )],
+        "md" => {
+            let (atoms, neighbors) = (128usize, 16usize);
+            let mut nl = Vec::with_capacity(atoms * neighbors);
+            for i in 0..atoms {
+                for j in 0..neighbors {
+                    nl.push(((i + j + 1) % atoms) as f64); // never self
+                }
+            }
+            vec![
+                ("pos_x", data::dense_f64(atoms, -4.0, 4.0, 80)),
+                ("pos_y", data::dense_f64(atoms, -4.0, 4.0, 81)),
+                ("pos_z", data::dense_f64(atoms, -4.0, 4.0, 82)),
+                ("neigh", nl),
+            ]
+        }
+        "spmv-crs" | "spmv-ellpack" => {
+            let (rows, width, cols) = (464usize, 4usize, 512usize);
+            let (sv, sc, sx) = if name == "spmv-crs" {
+                (110, 111, 112)
+            } else {
+                (20, 21, 22)
+            };
+            let mut col_idx = Vec::with_capacity(rows * width);
+            for r in 0..rows {
+                for c in data::sparse_row_cols(width, cols, sc + r as u64) {
+                    col_idx.push(f64::from(c));
+                }
+            }
+            vec![
+                ("vals", data::dense_f64(rows * width, -1.0, 1.0, sv)),
+                ("cols", col_idx),
+                ("x", data::dense_f64(cols, -1.0, 1.0, sx)),
+            ]
+        }
+        "histogram" => vec![(
+            "samples",
+            data::histogram_samples(1 << 16, 1 << 10, 5)
+                .into_iter()
+                .map(f64::from)
+                .collect(),
+        )],
+        "join" => vec![
+            (
+                "key0",
+                data::sorted_keys(768, 0.33, 10)
+                    .into_iter()
+                    .map(|k| k as f64)
+                    .collect(),
+            ),
+            ("val0", data::dense_f64(768, 1.0, 5.0, 12)),
+            (
+                "key1",
+                data::sorted_keys(768, 0.33, 11)
+                    .into_iter()
+                    .map(|k| k as f64)
+                    .collect(),
+            ),
+            ("val1", data::dense_f64(768, 1.0, 5.0, 13)),
+        ],
+        "qr" | "cholesky" => {
+            let n = 32usize;
+            let mut a = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    a[i * n + j] = if i == j {
+                        8.0
+                    } else {
+                        1.0 / (1.0 + (i as f64 - j as f64).abs())
+                    };
+                }
+            }
+            vec![("a", a)]
+        }
+        "fft" => vec![
+            ("re", data::dense_f64(1 << 10, -1.0, 1.0, 70)),
+            ("im", data::dense_f64(1 << 10, -1.0, 1.0, 71)),
+            ("tw_re", data::dense_f64(1 << 9, -1.0, 1.0, 72)),
+            ("tw_im", data::dense_f64(1 << 9, -1.0, 1.0, 73)),
+        ],
+        "centro-fir" => vec![
+            ("x", data::dense_f64(2048 + 32, -1.0, 1.0, 30)),
+            ("coef", data::dense_f64(16, -1.0, 1.0, 31)),
+        ],
+        // 16-bit integer FIR: keep values small and integral so the
+        // narrow datapath cannot wrap.
+        "fir16" => vec![
+            (
+                "x",
+                data::dense_f64(2048 + 32, 0.0, 4.0, 32)
+                    .into_iter()
+                    .map(f64::trunc)
+                    .collect(),
+            ),
+            (
+                "coef",
+                data::dense_f64(16, 0.0, 3.0, 33)
+                    .into_iter()
+                    .map(f64::trunc)
+                    .collect(),
+            ),
+        ],
+        "poly-2mm" => vec![
+            ("a", data::dense_f64(32 * 32, -1.0, 1.0, 90)),
+            ("b", data::dense_f64(32 * 32, -1.0, 1.0, 91)),
+            ("c", data::dense_f64(32 * 32, -1.0, 1.0, 92)),
+        ],
+        "poly-3mm" => vec![
+            ("a", data::dense_f64(32 * 32, -1.0, 1.0, 90)),
+            ("b", data::dense_f64(32 * 32, -1.0, 1.0, 91)),
+            ("c", data::dense_f64(32 * 32, -1.0, 1.0, 92)),
+            ("d", data::dense_f64(32 * 32, -1.0, 1.0, 93)),
+        ],
+        "poly-atax" => vec![
+            ("a", data::dense_f64(32 * 32, -1.0, 1.0, 60)),
+            ("x", data::dense_f64(32, -1.0, 1.0, 61)),
+        ],
+        "poly-mvt" => vec![
+            ("a", data::dense_f64(32 * 32, -1.0, 1.0, 94)),
+            ("y1", data::dense_f64(32, -1.0, 1.0, 95)),
+            ("y2", data::dense_f64(32, -1.0, 1.0, 96)),
+        ],
+        "poly-bicg" => vec![
+            ("a", data::dense_f64(32 * 32, -1.0, 1.0, 94)),
+            ("r", data::dense_f64(32, -1.0, 1.0, 97)),
+            ("p", data::dense_f64(32, -1.0, 1.0, 98)),
+        ],
+        "nn-conv" => vec![
+            ("input", data::dense_f64(28 * 28, -1.0, 1.0, 100)),
+            ("weights", data::dense_f64(8 * 9, -1.0, 1.0, 101)),
+        ],
+        "nn-pool" => vec![("input", data::dense_f64(8 * 26 * 26, -1.0, 1.0, 50))],
+        "nn-classifier" => vec![
+            ("x", data::dense_f64(256, -0.5, 0.5, 40)),
+            ("w", data::dense_f64(256 * 128, -0.2, 0.2, 41)),
+        ],
+        "sparse-cnn" => vec![
+            ("val_a", data::dense_f64(256, -1.0, 1.0, 120)),
+            (
+                "idx_a",
+                data::sparse_row_cols(256, 4096, 121)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect(),
+            ),
+            ("val_b", data::dense_f64(256, -1.0, 1.0, 123)),
+            (
+                "idx_b",
+                data::sparse_row_cols(256, 4096, 122)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect(),
+            ),
+        ],
+        _ => vec![],
+    };
+    pairs
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect()
+}
+
+/// Outcome of one (kernel, accelerator) differential run.
+#[derive(Debug, Clone, PartialEq)]
+enum Status {
+    /// Delivery held and outputs matched the reference bit-for-bit.
+    Verified { cycles: u64 },
+    /// No legal mapping on this accelerator — legitimate, recorded.
+    Unmapped(String),
+    /// The reference interpreter itself rejected the kernel/input pair;
+    /// there is nothing to differentiate against.
+    RefError(String),
+    /// Divergence: delivery broke or outputs mismatched. Always fatal.
+    Failed(String),
+}
+
+impl Status {
+    fn label(&self) -> String {
+        match self {
+            Status::Verified { cycles } => format!("verified ({cycles} cycles)"),
+            Status::Unmapped(e) => format!("unmapped: {e}"),
+            Status::RefError(e) => format!("ref-error: {e}"),
+            Status::Failed(e) => format!("FAILED: {e}"),
+        }
+    }
+}
+
+fn first_mismatch(got: &BTreeMap<String, Vec<f64>>, want: &BTreeMap<String, Vec<f64>>) -> Option<String> {
+    if got.keys().ne(want.keys()) {
+        return Some(format!(
+            "output arrays differ: sim {:?} vs ref {:?}",
+            got.keys().collect::<Vec<_>>(),
+            want.keys().collect::<Vec<_>>()
+        ));
+    }
+    for (name, g) in got {
+        let w = &want[name];
+        if g.len() != w.len() {
+            return Some(format!("{name}: length {} vs {}", g.len(), w.len()));
+        }
+        for (i, (a, b)) in g.iter().zip(w).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Some(format!("{name}[{i}]: sim {a} vs ref {b}"));
+            }
+        }
+    }
+    None
+}
+
+/// One differential run: compile onto `adg`, co-simulate with seeded
+/// inputs, compare against the independent reference execution.
+fn run_one(adg: &Adg, w: &Workload) -> Status {
+    let inputs = seeded_inputs(w.name);
+    let reference = match execute(&w.kernel, &inputs) {
+        Ok(r) => r,
+        Err(e) => return Status::RefError(e.to_string()),
+    };
+    let compiled = match dsagen::compile(adg, &w.kernel, &opts()) {
+        Ok(c) => c,
+        Err(e) => return Status::Unmapped(e.to_string()),
+    };
+    let report = match simulate_functional(
+        adg,
+        &w.kernel,
+        &compiled.version,
+        &compiled.schedule,
+        &compiled.eval,
+        compiled.config_path_len,
+        &SimConfig::default(),
+        &inputs,
+    ) {
+        Ok(r) => r,
+        Err(e) => return Status::Failed(e.to_string()),
+    };
+    match first_mismatch(&report.outputs, &reference) {
+        Some(m) => Status::Failed(m),
+        None => Status::Verified {
+            cycles: report.timing.cycles,
+        },
+    }
+}
+
+fn print_table(rows: &[(String, &'static str, Status)]) {
+    eprintln!("\n{:-<76}", "");
+    eprintln!("{:<16} {:<12} result", "kernel", "adg");
+    eprintln!("{:-<76}", "");
+    for (name, adg, status) in rows {
+        eprintln!("{name:<16} {adg:<12} {}", status.label());
+    }
+    eprintln!("{:-<76}", "");
+}
+
+#[test]
+fn every_workload_matches_the_reference_interpreter() {
+    let adg = dsagen::adg::presets::softbrain();
+    let mut rows = Vec::new();
+    for w in all() {
+        let status = run_one(&adg, &w);
+        rows.push((w.name.to_string(), "softbrain", status));
+    }
+
+    let verified = rows
+        .iter()
+        .filter(|(_, _, s)| matches!(s, Status::Verified { .. }))
+        .count();
+    let failed: Vec<_> = rows
+        .iter()
+        .filter(|(_, _, s)| matches!(s, Status::Failed(_)))
+        .collect();
+    if !failed.is_empty() || verified < 15 {
+        print_table(&rows);
+        panic!(
+            "differential harness: {verified}/{} verified, {} diverged",
+            rows.len(),
+            failed.len()
+        );
+    }
+}
+
+#[test]
+fn delivery_contract_holds_across_accelerators() {
+    // A representative slice per idiom family, re-verified on topologies
+    // with different capabilities: outputs are hardware-independent, so
+    // every accelerator the kernel maps onto must reproduce the identical
+    // reference values while honoring the delivery contract on its own
+    // (different) schedule.
+    let wanted = ["mm", "centro-fir", "histogram", "join", "poly-atax"];
+    let accelerators = [
+        dsagen::adg::presets::spu(),
+        dsagen::adg::presets::revel(),
+    ];
+    let mut rows = Vec::new();
+    for w in all() {
+        if !wanted.contains(&w.name) {
+            continue;
+        }
+        for adg in &accelerators {
+            let status = run_one(adg, &w);
+            rows.push((
+                w.name.to_string(),
+                match adg.name() {
+                    "spu" => "spu",
+                    _ => "revel",
+                },
+                status,
+            ));
+        }
+    }
+    let bad: Vec<_> = rows
+        .iter()
+        .filter(|(_, _, s)| matches!(s, Status::Failed(_)))
+        .collect();
+    let verified = rows
+        .iter()
+        .filter(|(_, _, s)| matches!(s, Status::Verified { .. }))
+        .count();
+    if !bad.is_empty() || verified < 6 {
+        print_table(&rows);
+        panic!(
+            "cross-accelerator differential: {verified}/{} verified, {} diverged",
+            rows.len(),
+            bad.len()
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Golden-file regression tests for the §VI hardware generator.
+//!
+//! For two preset accelerators the full flow — compile a workload, encode
+//! its configuration bitstream, emit the fabric's structural Verilog — is
+//! pinned against checked-in snapshots under `tests/golden/`. The entire
+//! pipeline is deterministic (the stochastic scheduler is seeded, the
+//! vendored PRNG is platform-stable), so any diff is a real behavioral
+//! change in the compiler, scheduler, or generator.
+//!
+//! To bless intentional changes, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dsagen --test golden
+//! ```
+//!
+//! On mismatch the test prints a unified-style excerpt around the first
+//! diverging line, so CI logs show *what* changed, not just that it did.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dsagen::prelude::*;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn update_mode() -> bool {
+    std::env::var("UPDATE_GOLDEN").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Compares `actual` against the snapshot `name`, regenerating it when
+/// `UPDATE_GOLDEN` is set. Prints a context diff around the first
+/// mismatching line on failure.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if update_mode() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        eprintln!("updated golden file {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    if expected == actual {
+        return;
+    }
+    panic!("{}", render_diff(name, &expected, actual));
+}
+
+/// First-divergence excerpt: a few lines of shared context, then the
+/// expected vs actual lines, then how much trailing content differs.
+fn render_diff(name: &str, expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let first = exp
+        .iter()
+        .zip(&act)
+        .position(|(e, a)| e != a)
+        .unwrap_or(exp.len().min(act.len()));
+    let ctx_start = first.saturating_sub(3);
+    let mut out = format!(
+        "golden mismatch in {name}: first divergence at line {} (expected {} lines, got {})\n",
+        first + 1,
+        exp.len(),
+        act.len()
+    );
+    for (i, line) in exp.iter().enumerate().take(first).skip(ctx_start) {
+        let _ = writeln!(out, "   {:>5} | {line}", i + 1);
+    }
+    for line in exp.iter().skip(first).take(4) {
+        let _ = writeln!(out, " - {:>5} | {line}", first + 1);
+    }
+    for line in act.iter().skip(first).take(4) {
+        let _ = writeln!(out, " + {:>5} | {line}", first + 1);
+    }
+    let _ = writeln!(
+        out,
+        "(re-bless with UPDATE_GOLDEN=1 cargo test -p dsagen --test golden)"
+    );
+    out
+}
+
+fn opts() -> CompileOptions {
+    CompileOptions {
+        max_unroll: 2,
+        scheduler: SchedulerConfig {
+            max_iters: 200,
+            ..SchedulerConfig::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+/// Renders the bitstream as one hex word per line — stable, diffable, and
+/// round-trippable through `Bitstream::from_words`.
+fn bitstream_text(adg: &dsagen::adg::Adg, kernel: &dsagen::dfg::Kernel) -> String {
+    let compiled = dsagen::compile(adg, kernel, &opts())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, adg.name()));
+    let hw = dsagen::generate(adg, &compiled, 4, 1);
+    // Self-check before pinning: the encoding must round-trip.
+    let words = hw.bitstream.to_words();
+    let back = dsagen::hwgen::Bitstream::from_words(&words).expect("round-trip");
+    assert_eq!(back.to_words(), words, "bitstream round-trip is lossy");
+    let mut s = String::with_capacity(words.len() * 17);
+    for w in &words {
+        let _ = writeln!(s, "{w:016x}");
+    }
+    s
+}
+
+#[test]
+fn softbrain_mm_bitstream_matches_golden() {
+    let adg = dsagen::adg::presets::softbrain();
+    let kernel = dsagen::workloads::machsuite::mm();
+    check_golden("softbrain_mm.bitstream.hex", &bitstream_text(&adg, &kernel));
+}
+
+#[test]
+fn softbrain_rtl_matches_golden() {
+    let adg = dsagen::adg::presets::softbrain();
+    check_golden("softbrain.v", &dsagen::hwgen::emit_verilog(&adg));
+}
+
+#[test]
+fn spu_histogram_bitstream_matches_golden() {
+    let adg = dsagen::adg::presets::spu();
+    let kernel = dsagen::workloads::sparse::histogram();
+    check_golden("spu_histogram.bitstream.hex", &bitstream_text(&adg, &kernel));
+}
+
+#[test]
+fn spu_rtl_matches_golden() {
+    let adg = dsagen::adg::presets::spu();
+    check_golden("spu.v", &dsagen::hwgen::emit_verilog(&adg));
+}
+
+#[test]
+fn diff_renderer_pinpoints_first_divergence() {
+    let d = render_diff("x", "a\nb\nc\n", "a\nB\nc\n");
+    assert!(d.contains("line 2"), "{d}");
+    assert!(d.contains(" - "), "{d}");
+    assert!(d.contains(" + "), "{d}");
+}

@@ -288,3 +288,83 @@ proptest! {
         let _ = try_simulate(&faulty, &ck, &first.schedule, &first.eval, 4, &SimConfig::default());
     }
 }
+
+proptest! {
+    // Each case runs full (small) DSE evaluations; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cache soundness: memoization is an optimization, never a semantic
+    /// change. For any seed, an explorer with the schedule cache enabled
+    /// evaluates the same design to the same `DsePoint` as one with the
+    /// cache disabled — and re-evaluating with a warm cache replays the
+    /// identical point without invoking the stochastic scheduler again.
+    #[test]
+    fn schedule_cache_is_semantically_invisible(seed in any::<u64>()) {
+        use dsagen::dse::{DseConfig, Explorer};
+
+        let kernels = vec![dsagen::workloads::polybench::atax()];
+        let cfg = |use_cache: bool| DseConfig {
+            seed,
+            use_cache,
+            shards: 1,
+            threads: 1,
+            max_iters: 4,
+            patience: 4,
+            sched_iters: 40,
+            max_unroll: 2,
+            ..DseConfig::default()
+        };
+
+        let mut raw = Explorer::new(presets::dse_initial(), &kernels, cfg(false));
+        let mut cached = Explorer::new(presets::dse_initial(), &kernels, cfg(true));
+
+        let p_raw = raw.evaluate();
+        let p_cached = cached.evaluate();
+        prop_assert_eq!(&p_raw, &p_cached);
+
+        // Warm replay: bit-identical point, zero new scheduler passes.
+        let passes_before = cached.sched_invocations();
+        let p_again = cached.evaluate();
+        prop_assert_eq!(&p_cached, &p_again);
+        prop_assert_eq!(cached.sched_invocations(), passes_before);
+        prop_assert!(cached.cache_stats().exact_hits > 0);
+
+        // The raw explorer is itself deterministic (the baseline the
+        // cache must reproduce).
+        prop_assert_eq!(&p_raw, &raw.evaluate());
+    }
+
+    /// Thread-count invariance: for a fixed `(seed, shards)` the sharded
+    /// explorer returns byte-identical traces and the same selected best
+    /// whatever the executor width.
+    #[test]
+    fn sharded_exploration_is_thread_count_invariant(seed in any::<u64>()) {
+        use dsagen::dse::{explore, DseConfig};
+
+        let kernels = vec![dsagen::workloads::polybench::atax()];
+        let cfg = |threads: usize| DseConfig {
+            seed,
+            shards: 3,
+            threads,
+            max_iters: 6,
+            patience: 6,
+            sched_iters: 40,
+            max_unroll: 2,
+            ..DseConfig::default()
+        };
+
+        let narrow = explore(presets::dse_initial(), &kernels, cfg(1));
+        let wide = explore(presets::dse_initial(), &kernels, cfg(4));
+
+        prop_assert_eq!(
+            narrow.best.objective.to_bits(),
+            wide.best.objective.to_bits()
+        );
+        prop_assert_eq!(&narrow.trace, &wide.trace);
+        prop_assert_eq!(&narrow.shard_traces, &wide.shard_traces);
+        prop_assert_eq!(
+            narrow.best_adg.fingerprint(),
+            wide.best_adg.fingerprint()
+        );
+    }
+}
