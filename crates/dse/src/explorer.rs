@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use dsagen_adg::{Adg, FeatureSet, OpSet};
 use dsagen_dfg::{compile_kernel, enumerate_configs, CompiledKernel, Kernel};
-use dsagen_hwgen::generate_config_paths;
+use dsagen_hwgen::{generate_config_paths, verify_round_trip_timed};
 use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
 use dsagen_scheduler::{
     evaluate as evaluate_schedule, repair_with_escalation, schedule, Problem, Schedule,
@@ -76,6 +76,11 @@ pub struct DseConfig {
     /// exploration step, to exercise the panic isolation without touching
     /// library code. `None` (always, in production) disables it.
     pub panic_at_iter: Option<u32>,
+    /// Test hook: report a configuration-integrity failure (as if bitstream
+    /// round-trip verification had rejected the candidate's config) at this
+    /// exploration step, to exercise the [`RejectReason::ConfigMismatch`]
+    /// path deterministically. `None` (always, in production) disables it.
+    pub fail_config_at_iter: Option<u32>,
 }
 
 /// Worker-thread default: `DSAGEN_DSE_THREADS`, or 1.
@@ -103,6 +108,7 @@ impl Default for DseConfig {
             threads: env_threads(),
             eval_budget_ms: None,
             panic_at_iter: None,
+            fail_config_at_iter: None,
         }
     }
 }
@@ -146,6 +152,11 @@ pub enum RejectReason {
     /// No mutation applied this step (all redraws failed), so there was no
     /// candidate to evaluate.
     NoMutation,
+    /// Bitstream round-trip verification rejected the candidate's
+    /// configuration: what the encoder emits does not decode back to the
+    /// schedule, so simulating the design would model misprogrammed
+    /// hardware. The design is reverted, never simulated.
+    ConfigMismatch,
 }
 
 impl std::fmt::Display for RejectReason {
@@ -157,6 +168,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::Unmappable => "unmappable",
             RejectReason::WorseObjective => "worse-objective",
             RejectReason::NoMutation => "no-mutation",
+            RejectReason::ConfigMismatch => "config-mismatch",
         };
         f.write_str(s)
     }
@@ -246,6 +258,9 @@ pub struct Explorer {
     cache: ScheduleCache,
     /// Stochastic scheduling passes actually executed (cache misses).
     sched_invocations: u64,
+    /// Schedules whose encoded configuration failed bitstream round-trip
+    /// verification (each one a version written off, never simulated).
+    config_rejections: u64,
     rng: StdRng,
     area_model: AreaPowerModel,
     perf_model: PerfModel,
@@ -292,6 +307,7 @@ impl Explorer {
             footprints: HashMap::new(),
             cache: ScheduleCache::new(),
             sched_invocations: 0,
+            config_rejections: 0,
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops,
@@ -317,6 +333,15 @@ impl Explorer {
     #[must_use]
     pub fn sched_invocations(&self) -> u64 {
         self.sched_invocations
+    }
+
+    /// Schedules rejected by bitstream round-trip verification so far
+    /// (aggregated across shards after a sharded run). Always zero unless
+    /// the encoder/decoder pair disagrees — every count here is a design
+    /// the explorer refused to simulate on integrity grounds.
+    #[must_use]
+    pub fn config_rejections(&self) -> u64 {
+        self.config_rejections
     }
 
     /// Evaluates the current design: schedules every satisfiable version
@@ -391,7 +416,16 @@ impl Explorer {
                         {
                             let problem = Problem::new(&self.adg, version);
                             let eval = evaluate_schedule(&problem, prev, &sched_cfg.weights);
-                            if eval.feasible {
+                            if !eval.feasible {
+                                None
+                            } else if verify_round_trip_timed(&problem, prev, &eval).is_err() {
+                                // Encoder/decoder disagreement on the rebased
+                                // schedule: refuse the fast path and fall
+                                // through to a full pass (whose result is
+                                // verified again below).
+                                self.config_rejections += 1;
+                                None
+                            } else {
                                 let est = self.perf_model.estimate(
                                     &self.adg,
                                     version,
@@ -400,8 +434,6 @@ impl Explorer {
                                     config_len,
                                 );
                                 Some((prev.clone(), est.perf(), want))
-                            } else {
-                                None
                             }
                         }
                         _ => None,
@@ -443,17 +475,27 @@ impl Explorer {
                 };
                 let mut perf_out = None;
                 if result.is_legal() {
-                    let est = self.perf_model.estimate(
-                        &self.adg,
-                        version,
-                        &result.schedule,
-                        &result.eval,
-                        config_len,
-                    );
-                    let perf = est.perf();
-                    perf_out = Some(perf);
-                    if best.is_none_or(|(_, p)| perf > p) {
-                        best = Some((vi, perf));
+                    // Integrity gate (§VI): the schedule may only count if
+                    // its encoded bitstream decodes back to exactly this
+                    // configuration. A disagreement writes the version off
+                    // as a first-class config rejection, never an undefined
+                    // simulation.
+                    let problem = Problem::new(&self.adg, version);
+                    if verify_round_trip_timed(&problem, &result.schedule, &result.eval).is_ok() {
+                        let est = self.perf_model.estimate(
+                            &self.adg,
+                            version,
+                            &result.schedule,
+                            &result.eval,
+                            config_len,
+                        );
+                        let perf = est.perf();
+                        perf_out = Some(perf);
+                        if best.is_none_or(|(_, p)| perf > p) {
+                            best = Some((vi, perf));
+                        }
+                    } else {
+                        self.config_rejections += 1;
                     }
                 }
                 let fp = if perf_out.is_some() {
@@ -563,6 +605,13 @@ impl Explorer {
     /// [`DseConfig::eval_budget_ms`] are likewise rejected.
     fn evaluate_candidate(&mut self, iter: u32) -> Result<DsePoint, RejectReason> {
         let started = Instant::now();
+        // Test hook: stand in for a bitstream round-trip failure without
+        // needing a genuinely buggy encoder.
+        if self.cfg.fail_config_at_iter == Some(iter) {
+            self.config_rejections += 1;
+            return Err(RejectReason::ConfigMismatch);
+        }
+        let config_rejections_before = self.config_rejections;
         let forced_panic = self.cfg.panic_at_iter;
         let point = catch_unwind(AssertUnwindSafe(|| {
             if forced_panic == Some(iter) {
@@ -571,6 +620,12 @@ impl Explorer {
             self.evaluate()
         }))
         .map_err(|_| RejectReason::Panicked)?;
+        // Any encoder/decoder disagreement during this evaluation rejects
+        // the whole candidate: a design we cannot provably program is a
+        // design we refuse to score.
+        if self.config_rejections > config_rejections_before {
+            return Err(RejectReason::ConfigMismatch);
+        }
         if let Some(budget_ms) = self.cfg.eval_budget_ms {
             if started.elapsed() > Duration::from_millis(budget_ms) {
                 return Err(RejectReason::TimedOut);
@@ -754,6 +809,7 @@ impl Explorer {
             footprints: HashMap::new(),
             cache: ScheduleCache::new(),
             sched_invocations: 0,
+            config_rejections: 0,
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops: self.used_ops,
@@ -860,6 +916,7 @@ impl Explorer {
         for (_, ex, _) in &survivors {
             self.cache.absorb_stats(&ex.cache.stats());
             self.sched_invocations += ex.sched_invocations();
+            self.config_rejections += ex.config_rejections();
         }
         let (_, wex, wres) = survivors.swap_remove(win);
         self.adg = wex.adg;
@@ -1123,9 +1180,70 @@ pub(crate) mod tests {
             (RejectReason::Unmappable, "unmappable"),
             (RejectReason::WorseObjective, "worse-objective"),
             (RejectReason::NoMutation, "no-mutation"),
+            (RejectReason::ConfigMismatch, "config-mismatch"),
         ] {
             assert_eq!(reason.to_string(), label);
         }
+    }
+
+    #[test]
+    fn healthy_exploration_never_rejects_on_config_integrity() {
+        // Every schedule the explorer accepts has passed bitstream
+        // round-trip verification; on a sane encoder/decoder pair the
+        // rejection counter stays at zero.
+        let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), quick_cfg());
+        let p = ex.evaluate();
+        assert!(p.per_kernel.iter().all(Option::is_some));
+        assert_eq!(
+            ex.config_rejections(),
+            0,
+            "encoder/decoder disagreed on a healthy design"
+        );
+    }
+
+    #[test]
+    fn forced_config_failure_is_a_first_class_rejection() {
+        // The fail_config_at_iter hook stands in for a round-trip
+        // verification failure: the step must be rejected with
+        // `ConfigMismatch`, the design reverted, and the search continue.
+        let cfg = DseConfig {
+            max_iters: 6,
+            fail_config_at_iter: Some(2),
+            ..serial_cfg()
+        };
+        let result = explore(presets::dse_initial(), &small_kernels(), cfg);
+        let rejected: Vec<_> = result
+            .trace
+            .iter()
+            .filter(|r| r.rejected_reason == Some(RejectReason::ConfigMismatch))
+            .collect();
+        assert_eq!(rejected.len(), 1, "exactly one forced config failure");
+        assert_eq!(rejected[0].iter, 2);
+        assert!(!rejected[0].accepted);
+        let last = result.trace.last().map_or(0, |r| r.iter);
+        assert!(last > 2, "search stopped at iter {last}, expected > 2");
+        assert!(result.best.objective > 0.0, "best point stays feasible");
+    }
+
+    #[test]
+    fn config_failure_rollback_keeps_search_deterministic() {
+        // After a config rejection the explorer restores the pre-step
+        // design, so the surviving iterations match a clean run's best
+        // trajectory (the rejected step can only lose an acceptance).
+        let clean = explore(presets::dse_initial(), &small_kernels(), serial_cfg());
+        let cfg = DseConfig {
+            fail_config_at_iter: Some(3),
+            ..serial_cfg()
+        };
+        let faulty = explore(presets::dse_initial(), &small_kernels(), cfg);
+        assert_eq!(clean.trace.len(), faulty.trace.len());
+        for (c, f) in clean.trace.iter().zip(&faulty.trace) {
+            if f.rejected_reason == Some(RejectReason::ConfigMismatch) {
+                continue;
+            }
+            assert!(f.objective <= c.objective + 1e-12, "iter {}", f.iter);
+        }
+        assert!(faulty.best.objective > 0.0);
     }
 
     #[test]

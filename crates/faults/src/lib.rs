@@ -10,12 +10,18 @@
 //!
 //! This crate provides the damage model:
 //!
-//! * [`FaultKind`] — the four supported hardware faults (dead PE, severed
-//!   link, stuck switch, shrunk FIFO);
+//! * [`FaultKind`] — four *structural* hardware faults (dead PE, severed
+//!   link, stuck switch, shrunk FIFO) plus four *config-plane* faults
+//!   (bit flip, truncated stream, duplicated frame, reordered frame) that
+//!   corrupt bitstream words in flight instead of the graph;
 //! * [`FaultPlan`] — a seeded, reproducible list of faults to apply;
 //! * [`inject`] — applies a plan to an [`Adg`], producing a degraded graph
 //!   that is **guaranteed to still pass [`Adg::validate`]** plus a
-//!   structured [`FaultReport`] of what was applied and what was skipped.
+//!   structured [`FaultReport`] of what was applied and what was skipped;
+//! * [`corrupt_stream`] (and [`corrupt_words`] / [`corrupt_frames`]) —
+//!   applies the config-plane faults of a plan to a stream of bitstream
+//!   words, so tests can drive the CRC/retry recovery paths of the
+//!   configuration-integrity subsystem deterministically.
 //!
 //! The guarantee is enforced by *validate-rollback*: each fault is applied
 //! to a scratch copy and kept only if the result still validates; a fault
@@ -65,16 +71,46 @@ pub enum FaultKind {
     /// A FIFO loses capacity: a sync or delay element's depth is halved
     /// (never below one entry).
     ShrunkFifo,
+    /// Config-plane: one bit of one bitstream word flips in flight
+    /// (SEU/crosstalk on the configuration network).
+    BitFlip,
+    /// Config-plane: the delivery stream is cut short — a suffix of frames
+    /// never arrives (broadcast aborted mid-flight).
+    TruncatedStream,
+    /// Config-plane: one frame is delivered twice (retransmission glitch
+    /// or a forked path re-merging).
+    DuplicatedFrame,
+    /// Config-plane: two adjacent frames swap places (out-of-order
+    /// delivery across config-path branches).
+    ReorderedFrame,
 }
 
 impl FaultKind {
-    /// All fault kinds, in a fixed order (useful for exhaustive sweeps).
+    /// The structural (graph-level) fault kinds, in a fixed order (useful
+    /// for exhaustive sweeps). Config-plane kinds are listed separately in
+    /// [`FaultKind::CONFIG_PLANE`] so seeded structural plans stay stable.
     pub const ALL: [FaultKind; 4] = [
         FaultKind::DeadPe,
         FaultKind::SeveredLink,
         FaultKind::StuckSwitch,
         FaultKind::ShrunkFifo,
     ];
+
+    /// The config-plane fault kinds: they corrupt bitstream *words* in
+    /// flight (see [`corrupt_stream`]) rather than the ADG itself.
+    pub const CONFIG_PLANE: [FaultKind; 4] = [
+        FaultKind::BitFlip,
+        FaultKind::TruncatedStream,
+        FaultKind::DuplicatedFrame,
+        FaultKind::ReorderedFrame,
+    ];
+
+    /// Whether this kind targets the configuration plane (bitstream words)
+    /// instead of the hardware graph.
+    #[must_use]
+    pub fn is_config_plane(self) -> bool {
+        Self::CONFIG_PLANE.contains(&self)
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -84,6 +120,10 @@ impl fmt::Display for FaultKind {
             FaultKind::SeveredLink => "severed-link",
             FaultKind::StuckSwitch => "stuck-switch",
             FaultKind::ShrunkFifo => "shrunk-fifo",
+            FaultKind::BitFlip => "bit-flip",
+            FaultKind::TruncatedStream => "truncated-stream",
+            FaultKind::DuplicatedFrame => "duplicated-frame",
+            FaultKind::ReorderedFrame => "reordered-frame",
         };
         f.write_str(s)
     }
@@ -128,6 +168,18 @@ impl FaultPlan {
         FaultPlan { seed, faults }
     }
 
+    /// A plan of `count` *config-plane* faults drawn uniformly from
+    /// [`FaultKind::CONFIG_PLANE`] using `seed` (the same seed also drives
+    /// target selection during [`corrupt_stream`]).
+    #[must_use]
+    pub fn random_config_plane(seed: u64, count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC0F1_65EE);
+        let faults = (0..count)
+            .map(|_| FaultKind::CONFIG_PLANE[rng.gen_range(0..FaultKind::CONFIG_PLANE.len())])
+            .collect();
+        FaultPlan { seed, faults }
+    }
+
     /// Whether the plan contains no faults.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -142,6 +194,9 @@ pub enum FaultTarget {
     Node(NodeId),
     /// An edge (link).
     Edge(EdgeId),
+    /// A bitstream word, by index into the delivered stream (config-plane
+    /// faults).
+    Word(usize),
 }
 
 impl fmt::Display for FaultTarget {
@@ -149,6 +204,7 @@ impl fmt::Display for FaultTarget {
         match self {
             FaultTarget::Node(n) => write!(f, "{n}"),
             FaultTarget::Edge(e) => write!(f, "{e}"),
+            FaultTarget::Word(w) => write!(f, "word[{w}]"),
         }
     }
 }
@@ -191,7 +247,7 @@ impl FaultReport {
             .iter()
             .filter_map(|f| match f.target {
                 FaultTarget::Node(n) => Some(n),
-                FaultTarget::Edge(_) => None,
+                _ => None,
             })
             .collect()
     }
@@ -203,7 +259,19 @@ impl FaultReport {
             .iter()
             .filter_map(|f| match f.target {
                 FaultTarget::Edge(e) => Some(e),
-                FaultTarget::Node(_) => None,
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Word indices of every applied config-plane fault.
+    #[must_use]
+    pub fn faulted_words(&self) -> Vec<usize> {
+        self.applied
+            .iter()
+            .filter_map(|f| match f.target {
+                FaultTarget::Word(w) => Some(w),
+                _ => None,
             })
             .collect()
     }
@@ -262,6 +330,12 @@ pub fn inject(adg: &Adg, plan: &FaultPlan) -> (Adg, FaultReport) {
 
 /// Tries to apply one fault, returning the mutated graph on success.
 fn apply_one(adg: &Adg, kind: FaultKind, rng: &mut StdRng) -> Result<(Adg, InjectedFault), String> {
+    if kind.is_config_plane() {
+        return Err(format!(
+            "{kind} is a config-plane fault: it corrupts bitstream words, \
+not the hardware graph — use corrupt_stream/corrupt_words/corrupt_frames"
+        ));
+    }
     match kind {
         FaultKind::DeadPe => {
             let candidates: Vec<NodeId> = adg.pes().collect();
@@ -360,6 +434,135 @@ fn apply_one(adg: &Adg, kind: FaultKind, rng: &mut StdRng) -> Result<(Adg, Injec
                 }
             })
         }
+        // Config-plane kinds were rejected above.
+        _ => Err(format!("{kind} has no structural application")),
+    }
+}
+
+/// Applies the config-plane faults of `plan` to a stream of bitstream
+/// words, returning the corrupted stream and a report.
+///
+/// `frame_len` is the delivery granularity in words: `1` corrupts the raw
+/// word stream, `2` matches the CRC-framed transport
+/// (`dsagen_hwgen::FRAME_WORDS`). Truncation, duplication, and reordering
+/// operate on whole frames; a bit flip lands on a single bit of a single
+/// word. Structural kinds in the plan are recorded as skipped (they need a
+/// graph, not a stream), as are config-plane kinds the stream is too short
+/// to express (for example reordering a one-frame stream).
+///
+/// Deterministic: the same `(words, frame_len, plan.seed)` always produces
+/// the same corruption.
+#[must_use]
+pub fn corrupt_stream(words: &[u64], frame_len: usize, plan: &FaultPlan) -> (Vec<u64>, FaultReport) {
+    let frame_len = frame_len.max(1);
+    let mut stream: Vec<u64> = words.to_vec();
+    let mut report = FaultReport::default();
+    let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xB17_F11B);
+    for &kind in &plan.faults {
+        match corrupt_one(&mut stream, frame_len, kind, &mut rng) {
+            Ok(injected) => report.applied.push(injected),
+            Err(reason) => report.skipped.push(SkippedFault { kind, reason }),
+        }
+    }
+    (stream, report)
+}
+
+/// [`corrupt_stream`] at word granularity (`frame_len = 1`): faults on a
+/// raw, unframed bitstream.
+#[must_use]
+pub fn corrupt_words(words: &[u64], plan: &FaultPlan) -> (Vec<u64>, FaultReport) {
+    corrupt_stream(words, 1, plan)
+}
+
+/// [`corrupt_stream`] at CRC-frame granularity (`frame_len = 2`, matching
+/// `dsagen_hwgen::FRAME_WORDS`): faults on the framed transport stream.
+#[must_use]
+pub fn corrupt_frames(words: &[u64], plan: &FaultPlan) -> (Vec<u64>, FaultReport) {
+    corrupt_stream(words, 2, plan)
+}
+
+/// Applies one config-plane fault to `stream` in place.
+fn corrupt_one(
+    stream: &mut Vec<u64>,
+    frame_len: usize,
+    kind: FaultKind,
+    rng: &mut StdRng,
+) -> Result<InjectedFault, String> {
+    if !kind.is_config_plane() {
+        return Err(format!(
+            "{kind} is a structural fault: it targets the hardware graph, \
+not the word stream — use inject"
+        ));
+    }
+    let frames = stream.len() / frame_len;
+    match kind {
+        FaultKind::BitFlip => {
+            if stream.is_empty() {
+                return Err("stream is empty: no word to flip".to_string());
+            }
+            let w = rng.gen_range(0..stream.len());
+            let b = rng.gen_range(0..64u32);
+            stream[w] ^= 1u64 << b;
+            Ok(InjectedFault {
+                kind,
+                target: FaultTarget::Word(w),
+                detail: format!("flipped bit {b} of word {w}"),
+            })
+        }
+        FaultKind::TruncatedStream => {
+            if frames < 2 {
+                return Err(format!(
+                    "stream has {frames} frame(s): truncation would erase it entirely"
+                ));
+            }
+            // Keep at least one frame, drop at least one.
+            let keep = rng.gen_range(1..frames);
+            let cut_words = keep * frame_len;
+            let dropped = stream.len() - cut_words;
+            stream.truncate(cut_words);
+            Ok(InjectedFault {
+                kind,
+                target: FaultTarget::Word(cut_words),
+                detail: format!("dropped {dropped} trailing word(s) ({} frame(s))", frames - keep),
+            })
+        }
+        FaultKind::DuplicatedFrame => {
+            if frames == 0 {
+                return Err("stream has no complete frame to duplicate".to_string());
+            }
+            let f = rng.gen_range(0..frames);
+            let start = f * frame_len;
+            let copy: Vec<u64> = stream[start..start + frame_len].to_vec();
+            // Insert the copy immediately after the original frame.
+            let at = start + frame_len;
+            for (i, w) in copy.into_iter().enumerate() {
+                stream.insert(at + i, w);
+            }
+            Ok(InjectedFault {
+                kind,
+                target: FaultTarget::Word(start),
+                detail: format!("duplicated frame {f} ({frame_len} word(s))"),
+            })
+        }
+        FaultKind::ReorderedFrame => {
+            if frames < 2 {
+                return Err(format!(
+                    "stream has {frames} frame(s): nothing to reorder"
+                ));
+            }
+            let f = rng.gen_range(0..frames - 1);
+            let a = f * frame_len;
+            let b = (f + 1) * frame_len;
+            for i in 0..frame_len {
+                stream.swap(a + i, b + i);
+            }
+            Ok(InjectedFault {
+                kind,
+                target: FaultTarget::Word(a),
+                detail: format!("swapped frames {f} and {}", f + 1),
+            })
+        }
+        _ => Err(format!("{kind} is not a config-plane fault")),
     }
 }
 
@@ -591,5 +794,119 @@ mod tests {
         let s = report.to_string();
         assert!(s.contains("1 applied"), "{s}");
         assert!(s.contains("dead-pe"), "{s}");
+    }
+
+    // ---- config-plane injectors ----------------------------------------
+
+    fn sample_stream(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect()
+    }
+
+    #[test]
+    fn config_plane_kinds_are_partitioned_from_structural() {
+        for kind in FaultKind::ALL {
+            assert!(!kind.is_config_plane(), "{kind} misclassified");
+        }
+        for kind in FaultKind::CONFIG_PLANE {
+            assert!(kind.is_config_plane(), "{kind} misclassified");
+        }
+    }
+
+    #[test]
+    fn config_plane_faults_skip_on_graphs() {
+        let adg = presets::softbrain();
+        for kind in FaultKind::CONFIG_PLANE {
+            let (degraded, report) = inject(&adg, &FaultPlan::new(1).with(kind));
+            assert_eq!(degraded, adg, "{kind} must not touch the graph");
+            assert_eq!(report.applied.len(), 0, "{report}");
+            assert_eq!(report.skipped.len(), 1, "{report}");
+        }
+    }
+
+    #[test]
+    fn structural_faults_skip_on_streams() {
+        let words = sample_stream(8);
+        for kind in FaultKind::ALL {
+            let (out, report) = corrupt_words(&words, &FaultPlan::new(1).with(kind));
+            assert_eq!(out, words, "{kind} must not touch the stream");
+            assert_eq!(report.skipped.len(), 1, "{report}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_changes_exactly_one_bit() {
+        let words = sample_stream(16);
+        let (out, report) = corrupt_words(&words, &FaultPlan::new(5).with(FaultKind::BitFlip));
+        assert_eq!(out.len(), words.len());
+        let flipped: u32 = words
+            .iter()
+            .zip(&out)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1, "{report}");
+        assert_eq!(report.faulted_words().len(), 1);
+    }
+
+    #[test]
+    fn truncation_drops_whole_frames_and_keeps_a_prefix() {
+        let words = sample_stream(12); // 6 frames of 2
+        let (out, report) =
+            corrupt_frames(&words, &FaultPlan::new(7).with(FaultKind::TruncatedStream));
+        assert!(out.len() < words.len(), "{report}");
+        assert_eq!(out.len() % 2, 0, "must cut on a frame boundary");
+        assert_eq!(&words[..out.len()], &out[..], "prefix must be intact");
+    }
+
+    #[test]
+    fn duplication_inserts_one_frame_copy() {
+        let words = sample_stream(10);
+        let (out, report) =
+            corrupt_frames(&words, &FaultPlan::new(3).with(FaultKind::DuplicatedFrame));
+        assert_eq!(out.len(), words.len() + 2, "{report}");
+        let [start] = report.faulted_words()[..] else {
+            panic!("expected one word target: {report}");
+        };
+        assert_eq!(&out[start..start + 2], &out[start + 2..start + 4]);
+    }
+
+    #[test]
+    fn reordering_swaps_adjacent_frames() {
+        let words = sample_stream(10);
+        let (out, report) =
+            corrupt_frames(&words, &FaultPlan::new(9).with(FaultKind::ReorderedFrame));
+        assert_eq!(out.len(), words.len(), "{report}");
+        assert_ne!(out, words);
+        let mut sorted_a = words.clone();
+        let mut sorted_b = out.clone();
+        sorted_a.sort_unstable();
+        sorted_b.sort_unstable();
+        assert_eq!(sorted_a, sorted_b, "reorder must be a permutation");
+    }
+
+    #[test]
+    fn short_streams_skip_with_typed_reason() {
+        // One frame: nothing to truncate or reorder.
+        let words = sample_stream(2);
+        for kind in [FaultKind::TruncatedStream, FaultKind::ReorderedFrame] {
+            let (out, report) = corrupt_frames(&words, &FaultPlan::new(1).with(kind));
+            assert_eq!(out, words);
+            assert_eq!(report.skipped.len(), 1, "{report}");
+        }
+        // Empty stream: even a bit flip skips.
+        let (out, report) = corrupt_words(&[], &FaultPlan::new(1).with(FaultKind::BitFlip));
+        assert!(out.is_empty());
+        assert_eq!(report.skipped.len(), 1, "{report}");
+    }
+
+    #[test]
+    fn stream_corruption_is_deterministic() {
+        let words = sample_stream(20);
+        let plan = FaultPlan::random_config_plane(0xABC, 5);
+        assert_eq!(plan.faults.len(), 5);
+        assert!(plan.faults.iter().all(|k| k.is_config_plane()));
+        let (a, ra) = corrupt_frames(&words, &plan);
+        let (b, rb) = corrupt_frames(&words, &plan);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
     }
 }

@@ -7,8 +7,14 @@
 //! spanning-tree-like pass, then iteratively cuts a node from the longest
 //! path and reattaches it to a nearby shorter path until the maximum length
 //! converges.
+//!
+//! The walker is written panic-free: every structural assumption that used
+//! to be an `expect()` is now either locally impossible by construction
+//! (and degrades to a safe fallback) or reported through
+//! [`ConfigPathError`] by [`try_generate_config_paths`].
 
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 
 use dsagen_adg::{Adg, NodeId};
 use rand::rngs::StdRng;
@@ -57,6 +63,40 @@ impl ConfigPaths {
     }
 }
 
+/// Typed failure of configuration-path generation.
+///
+/// Only the strict entry point ([`try_generate_config_paths`]) surfaces
+/// these; the lenient [`generate_config_paths`] degrades gracefully
+/// instead (empty path set, or disconnected nodes appended off-walk).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigPathError {
+    /// The ADG has no configurable nodes at all — nothing to cover.
+    NoConfigurableNodes,
+    /// A configurable node cannot be reached through the configurable
+    /// subgraph: the walker had to teleport to place it, so the delivery
+    /// network cannot actually program it.
+    DisconnectedNode {
+        /// The unreachable node.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ConfigPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoConfigurableNodes => {
+                write!(f, "config-path: ADG has no configurable nodes")
+            }
+            Self::DisconnectedNode { node } => write!(
+                f,
+                "config-path: node {node} is unreachable through the configurable subgraph"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigPathError {}
+
 /// Undirected adjacency over the configurable nodes of `adg`.
 fn adjacency(adg: &Adg) -> HashMap<NodeId, Vec<NodeId>> {
     let mut adj: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
@@ -89,7 +129,7 @@ fn bfs(adj: &HashMap<NodeId, Vec<NodeId>>, from: NodeId) -> HashMap<NodeId, u32>
     dist.insert(from, 0u32);
     let mut q = VecDeque::from([from]);
     while let Some(n) = q.pop_front() {
-        let d = dist[&n];
+        let d = dist.get(&n).copied().unwrap_or(0);
         for m in adj.get(&n).into_iter().flatten() {
             if !dist.contains_key(m) {
                 dist.insert(*m, d + 1);
@@ -127,7 +167,12 @@ fn shortest_walk(
     let mut walk = vec![to];
     let mut cur = to;
     while cur != from {
-        cur = pred[&cur];
+        let Some(&prev) = pred.get(&cur) else {
+            // Unreachable: every queued node has a predecessor entry. Bail
+            // out rather than loop forever.
+            return None;
+        };
+        cur = prev;
         walk.push(cur);
     }
     walk.reverse();
@@ -136,20 +181,51 @@ fn shortest_walk(
 
 /// Generates `p` configuration paths covering every configurable node.
 ///
-/// Deterministic for a given `seed`.
+/// Deterministic for a given `seed`. Lenient: an ADG with no configurable
+/// nodes yields an empty path set, and nodes disconnected from the
+/// configurable subgraph are still placed (appended off-walk) so coverage
+/// is total. Use [`try_generate_config_paths`] to surface those conditions
+/// as typed errors instead.
 #[must_use]
 pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
+    generate_with_report(adg, p, seed).0
+}
+
+/// Strict variant of [`generate_config_paths`]: identical paths on
+/// success, but an ADG without configurable nodes or with a configurable
+/// node unreachable through the configurable subgraph is a typed
+/// [`ConfigPathError`] instead of a silent degradation.
+pub fn try_generate_config_paths(
+    adg: &Adg,
+    p: usize,
+    seed: u64,
+) -> Result<ConfigPaths, ConfigPathError> {
+    let (paths, disconnected) = generate_with_report(adg, p, seed);
+    if paths.paths.is_empty() {
+        return Err(ConfigPathError::NoConfigurableNodes);
+    }
+    if let Some(&node) = disconnected.first() {
+        return Err(ConfigPathError::DisconnectedNode { node });
+    }
+    Ok(paths)
+}
+
+/// Shared generator: returns the paths plus every node that had to be
+/// placed without a connecting walk (disconnected from the configurable
+/// subgraph).
+fn generate_with_report(adg: &Adg, p: usize, seed: u64) -> (ConfigPaths, Vec<NodeId>) {
     let adj = adjacency(adg);
     let mut nodes: Vec<NodeId> = adj.keys().copied().collect();
     nodes.sort();
-    if nodes.is_empty() {
-        return ConfigPaths { paths: Vec::new() };
-    }
+    let Some(&first_node) = nodes.first() else {
+        return (ConfigPaths { paths: Vec::new() }, Vec::new());
+    };
     let p = p.clamp(1, nodes.len());
     let mut rng = StdRng::seed_from_u64(seed);
+    let mut disconnected: Vec<NodeId> = Vec::new();
 
     // --- seeds: spread by farthest-point heuristic.
-    let mut seeds = vec![nodes[0]];
+    let mut seeds = vec![first_node];
     while seeds.len() < p {
         let mut best = None;
         let mut best_d = 0u32;
@@ -178,20 +254,24 @@ pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
     let seed_dists: Vec<HashMap<NodeId, u32>> = seeds.iter().map(|s| bfs(&adj, *s)).collect();
     let mut clusters: Vec<Vec<NodeId>> = vec![Vec::new(); seeds.len()];
     for n in &nodes {
-        let (best, _) = seed_dists
+        // `seeds` is nonempty, so the min always exists; fall back to the
+        // first cluster rather than panicking if it somehow did not.
+        let best = seed_dists
             .iter()
             .enumerate()
             .map(|(i, dm)| (i, dm.get(n).copied().unwrap_or(u32::MAX)))
             .min_by_key(|(_, d)| *d)
-            .expect("at least one seed");
-        clusters[best].push(*n);
+            .map_or(0, |(i, _)| i);
+        if let Some(cluster) = clusters.get_mut(best) {
+            cluster.push(*n);
+        }
     }
 
     // --- route each cluster with a nearest-neighbor walk (revisits allowed
     // through shortest connecting walks).
     let mut paths: Vec<Vec<NodeId>> = clusters
         .iter()
-        .map(|cluster| walk_cluster(&adj, cluster, &mut rng))
+        .map(|cluster| walk_cluster(&adj, cluster, &mut rng, &mut disconnected))
         .collect();
 
     prune(&mut paths);
@@ -220,7 +300,7 @@ pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
             if pi == longest || path.len() + 1 >= before {
                 continue;
             }
-            let tail = *path.last().expect("paths are nonempty");
+            let Some(&tail) = path.last() else { continue };
             if let Some(w) = shortest_walk(&adj, tail, victim) {
                 let new_len = path.len() + w.len() - 1;
                 if new_len < before && best.is_none_or(|(_, l)| new_len < l) {
@@ -233,8 +313,13 @@ pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
         // pass-through nodes that were only there to reach it), append the
         // connecting walk to the target path.
         paths[longest].pop();
-        let tail = *paths[target].last().expect("nonempty");
-        let walk = shortest_walk(&adj, tail, victim).expect("checked above");
+        let Some(&tail) = paths[target].last() else { break };
+        let Some(walk) = shortest_walk(&adj, tail, victim) else {
+            // The attachment was validated a moment ago; if it vanished,
+            // restore the victim and stop improving rather than panic.
+            paths[longest].push(victim);
+            break;
+        };
         paths[target].extend_from_slice(&walk[1..]);
     }
 
@@ -244,20 +329,26 @@ pub fn generate_config_paths(adg: &Adg, p: usize, seed: u64) -> ConfigPaths {
         paths.iter().flatten().copied().collect();
     for n in &nodes {
         if !covered.contains(n) {
-            let shortest = paths
-                .iter_mut()
-                .min_by_key(|p| p.len())
-                .expect("p >= 1 paths");
-            let tail = *shortest.last().expect("nonempty");
-            if let Some(w) = shortest_walk(&adj, tail, *n) {
-                shortest.extend_from_slice(&w[1..]);
-            } else {
-                shortest.push(*n);
+            let Some(shortest) = paths.iter_mut().min_by_key(|p| p.len()) else {
+                break; // p >= 1 paths by construction
+            };
+            match shortest.last().copied() {
+                Some(tail) => {
+                    if let Some(w) = shortest_walk(&adj, tail, *n) {
+                        shortest.extend_from_slice(&w[1..]);
+                    } else {
+                        disconnected.push(*n);
+                        shortest.push(*n);
+                    }
+                }
+                None => shortest.push(*n),
             }
         }
     }
 
-    ConfigPaths { paths }
+    disconnected.sort();
+    disconnected.dedup();
+    (ConfigPaths { paths }, disconnected)
 }
 
 /// Removes redundant path endpoints: a trailing or leading node that is
@@ -276,18 +367,23 @@ fn prune(paths: &mut [Vec<NodeId>]) {
         loop {
             let mut trimmed = false;
             if p.len() > 1 {
-                let last = *p.last().expect("nonempty");
-                if count.get(&last).copied().unwrap_or(0) > 1 {
-                    p.pop();
-                    *count.get_mut(&last).expect("counted") -= 1;
-                    trimmed = true;
+                if let Some(&last) = p.last() {
+                    if count.get(&last).copied().unwrap_or(0) > 1 {
+                        p.pop();
+                        if let Some(c) = count.get_mut(&last) {
+                            *c -= 1;
+                        }
+                        trimmed = true;
+                    }
                 }
             }
             if p.len() > 1 {
                 let first = p[0];
                 if count.get(&first).copied().unwrap_or(0) > 1 {
                     p.remove(0);
-                    *count.get_mut(&first).expect("counted") -= 1;
+                    if let Some(c) = count.get_mut(&first) {
+                        *c -= 1;
+                    }
                     trimmed = true;
                 }
             }
@@ -298,32 +394,43 @@ fn prune(paths: &mut [Vec<NodeId>]) {
     }
 }
 
-/// Nearest-neighbor walk covering every node of `cluster`.
+/// Nearest-neighbor walk covering every node of `cluster`. Nodes that
+/// cannot be reached through the configurable subgraph are still placed
+/// (appended off-walk) and recorded in `disconnected`.
 fn walk_cluster(
     adj: &HashMap<NodeId, Vec<NodeId>>,
     cluster: &[NodeId],
     rng: &mut StdRng,
+    disconnected: &mut Vec<NodeId>,
 ) -> Vec<NodeId> {
     if cluster.is_empty() {
         return Vec::new();
     }
     let mut remaining: Vec<NodeId> = cluster.to_vec();
     remaining.shuffle(rng);
-    let start = remaining.pop().expect("nonempty cluster");
+    let Some(start) = remaining.pop() else {
+        return Vec::new();
+    };
     let mut path = vec![start];
     while !remaining.is_empty() {
-        let cur = *path.last().expect("nonempty");
+        let Some(&cur) = path.last() else { break };
         let dist = bfs(adj, cur);
         // Nearest remaining node.
-        let (idx, _) = remaining
+        let Some((idx, _)) = remaining
             .iter()
             .enumerate()
             .min_by_key(|(_, n)| dist.get(n).copied().unwrap_or(u32::MAX))
-            .expect("nonempty remaining");
+        else {
+            break;
+        };
         let next = remaining.swap_remove(idx);
         match shortest_walk(adj, cur, next) {
             Some(w) => path.extend_from_slice(&w[1..]),
-            None => path.push(next), // disconnected; charged but placed
+            None => {
+                // Disconnected; charged but placed.
+                disconnected.push(next);
+                path.push(next);
+            }
         }
         // Anything passed through is covered for free.
         remaining.retain(|n| !path.contains(n));
@@ -399,6 +506,49 @@ mod tests {
             generate_config_paths(&adg, 3, 11),
             generate_config_paths(&adg, 3, 11)
         );
+    }
+
+    #[test]
+    fn strict_variant_agrees_with_lenient_on_connected_fabrics() {
+        let adg = presets::softbrain();
+        let strict = try_generate_config_paths(&adg, 4, 9).expect("connected mesh");
+        assert_eq!(strict, generate_config_paths(&adg, 4, 9));
+    }
+
+    #[test]
+    fn strict_variant_rejects_empty_fabric() {
+        let adg = dsagen_adg::Adg::new("empty");
+        assert_eq!(
+            try_generate_config_paths(&adg, 2, 0),
+            Err(ConfigPathError::NoConfigurableNodes)
+        );
+        // Lenient variant degrades to an empty path set.
+        assert!(generate_config_paths(&adg, 2, 0).paths.is_empty());
+    }
+
+    #[test]
+    fn strict_variant_reports_disconnected_nodes() {
+        // Two PEs with no link between them: whichever is walked second is
+        // unreachable through the configurable subgraph.
+        let mut adg = dsagen_adg::Adg::new("split");
+        let a = adg.add_pe(PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu(),
+        ));
+        let b = adg.add_pe(PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu(),
+        ));
+        match try_generate_config_paths(&adg, 1, 0) {
+            Err(ConfigPathError::DisconnectedNode { node }) => {
+                assert!(node == a || node == b);
+            }
+            other => panic!("expected DisconnectedNode, got {other:?}"),
+        }
+        // Lenient variant still covers both.
+        assert_eq!(generate_config_paths(&adg, 1, 0).covered().len(), 2);
     }
 
     #[test]

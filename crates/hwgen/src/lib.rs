@@ -16,8 +16,19 @@
 
 mod bitstream;
 mod config_path;
+mod frame;
 mod rtl;
 
-pub use bitstream::{Bitstream, InstrConfig, NodeConfig, RouteConfig, SyncConfig};
-pub use config_path::{generate_config_paths, ConfigPaths};
+pub use bitstream::{
+    schedule_digest, verify_round_trip, verify_round_trip_timed, Bitstream, BitstreamError,
+    ComponentClass, DecodedConfig, DecodedInstr, DecodedNode, InstrConfig, NodeConfig, RouteConfig,
+    SyncConfig, VerifiedConfig, VerifyError,
+};
+pub use config_path::{
+    generate_config_paths, try_generate_config_paths, ConfigPathError, ConfigPaths,
+};
+pub use frame::{
+    crc32, deframe_words, frame_words, Frame, FrameError, ProgrammingSession, SessionConfig,
+    SessionError, SessionReport, SessionState, CRC32_POLY, FRAME_WORDS,
+};
 pub use rtl::emit_verilog;

@@ -26,9 +26,10 @@ use std::collections::BTreeMap;
 use dsagen_adg::Adg;
 use dsagen_dfg::interp::{execute, ExecError};
 use dsagen_dfg::{CompiledKernel, Kernel};
-use dsagen_scheduler::{Evaluation, Schedule};
+use dsagen_hwgen::{verify_round_trip_timed, VerifyError};
+use dsagen_scheduler::{Evaluation, Problem, Schedule};
 
-use crate::{try_simulate, SimConfig, SimError, SimReport};
+use crate::{try_simulate_verified, SimConfig, SimError, SimReport};
 
 /// Why a co-simulation failed.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +37,10 @@ use crate::{try_simulate, SimConfig, SimError, SimReport};
 pub enum CoSimError {
     /// The timing engine refused the schedule (stale hardware references).
     Sim(SimError),
+    /// Bitstream round-trip verification failed: the configuration the
+    /// encoder emits does not decode back to the schedule being simulated,
+    /// so the hardware would be silently misprogrammed.
+    Config(VerifyError),
     /// A region did not fire exactly its compiled instance count — the
     /// engine dropped or duplicated dataflow instances (e.g. a deadlock
     /// cut short by the cycle cap).
@@ -56,6 +61,9 @@ impl std::fmt::Display for CoSimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoSimError::Sim(e) => write!(f, "timing engine rejected the schedule: {e}"),
+            CoSimError::Config(e) => {
+                write!(f, "configuration failed round-trip verification: {e}")
+            }
             CoSimError::FiringMismatch {
                 region,
                 fired,
@@ -73,6 +81,7 @@ impl std::error::Error for CoSimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoSimError::Sim(e) => Some(e),
+            CoSimError::Config(e) => Some(e),
             CoSimError::Exec(e) => Some(e),
             CoSimError::FiringMismatch { .. } => None,
         }
@@ -82,6 +91,12 @@ impl std::error::Error for CoSimError {
 impl From<SimError> for CoSimError {
     fn from(e: SimError) -> Self {
         CoSimError::Sim(e)
+    }
+}
+
+impl From<VerifyError> for CoSimError {
+    fn from(e: VerifyError) -> Self {
+        CoSimError::Config(e)
     }
 }
 
@@ -101,12 +116,17 @@ pub struct CoSimReport {
     pub outputs: BTreeMap<String, Vec<f64>>,
 }
 
-/// Runs the cycle-level engine and the functional reference together.
+/// Runs the cycle-level engine and the functional reference together,
+/// gated on configuration integrity.
 ///
-/// Fails if the schedule references dead hardware, if any region's firing
-/// count diverges from its compiled instance count (delivery contract),
-/// or if the functional reference itself traps. On success the returned
-/// report carries both the timing facts and the computed output arrays.
+/// Before any cycle is simulated the schedule is encoded to a bitstream
+/// and round-trip verified ([`dsagen_hwgen::verify_round_trip_timed`]):
+/// an encoder/decoder disagreement is a typed [`CoSimError::Config`]
+/// rejection, never an undefined simulation. Then it fails if the
+/// schedule references dead hardware, if any region's firing count
+/// diverges from its compiled instance count (delivery contract), or if
+/// the functional reference itself traps. On success the returned report
+/// carries both the timing facts and the computed output arrays.
 ///
 /// `inputs` maps array names to initial contents; arrays the kernel
 /// declares but the map omits are zero-filled (matching
@@ -122,7 +142,9 @@ pub fn simulate_functional(
     cfg: &SimConfig,
     inputs: &BTreeMap<String, Vec<f64>>,
 ) -> Result<CoSimReport, CoSimError> {
-    let timing = try_simulate(adg, version, schedule, eval, config_path_len, cfg)?;
+    let problem = Problem::new(adg, version);
+    let config = verify_round_trip_timed(&problem, schedule, eval)?;
+    let timing = try_simulate_verified(adg, version, schedule, eval, &config, config_path_len, cfg)?;
     for (ri, region) in version.regions.iter().enumerate() {
         let fired = timing.firings.get(ri).copied().unwrap_or(0);
         // Instance counts are products of trip counts and can be fractional
@@ -142,6 +164,8 @@ pub fn simulate_functional(
 
 #[cfg(test)]
 mod tests {
+    use std::error::Error;
+
     use dsagen_adg::{presets, BitWidth, Opcode};
     use dsagen_dfg::{
         compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
@@ -150,7 +174,9 @@ mod tests {
 
     use super::*;
 
-    fn axpy(n: u64) -> Kernel {
+    type TestResult = Result<(), Box<dyn Error>>;
+
+    fn axpy(n: u64) -> Result<Kernel, Box<dyn Error>> {
         let mut k = KernelBuilder::new("axpy");
         let a = k.array("a", BitWidth::B64, n, MemClass::MainMemory);
         let b = k.array("b", BitWidth::B64, n, MemClass::MainMemory);
@@ -163,14 +189,14 @@ mod tests {
         let s = r.bin(Opcode::Add, m, vb);
         r.store(b, AffineExpr::var(i), s);
         k.finish_region(r);
-        k.build().unwrap()
+        Ok(k.build()?)
     }
 
     #[test]
-    fn cosim_reports_timing_and_values_together() {
+    fn cosim_reports_timing_and_values_together() -> TestResult {
         let adg = presets::softbrain();
-        let kernel = axpy(64);
-        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features()).unwrap();
+        let kernel = axpy(64)?;
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
         assert!(s.is_legal());
         let mut inputs = BTreeMap::new();
@@ -185,20 +211,56 @@ mod tests {
             0,
             &SimConfig::default(),
             &inputs,
-        )
-        .expect("healthy cosim");
+        )?;
         assert!(report.timing.cycles >= 64);
-        let b = &report.outputs["b"];
+        let b = report.outputs.get("b").ok_or("output b missing")?;
         for (i, v) in b.iter().enumerate() {
             assert_eq!(*v, 2.0 * i as f64 + 1.0, "b[{i}]");
         }
+        Ok(())
     }
 
     #[test]
-    fn cosim_rejects_stale_schedule() {
+    fn cosim_verifies_the_config_before_simulating() -> TestResult {
+        // The verification gate must hold for a healthy run: the same
+        // problem/schedule pair the cosim just accepted round-trips.
+        let adg = presets::softbrain();
+        let kernel = axpy(64)?;
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        let problem = Problem::new(&adg, &ck);
+        let config = verify_round_trip_timed(&problem, &s.schedule, &s.eval)?;
+        assert!(config.matches(&s.schedule));
+        assert!(config.word_count() > 0);
+        // A token minted for a *different* schedule is refused with a
+        // typed error, not an undefined simulation.
+        let mut other = s.schedule.clone();
+        if let Some(slot) = other.placement.iter_mut().find(|p| p.is_some()) {
+            *slot = None;
+        }
+        let err = try_simulate_verified(
+            &adg,
+            &ck,
+            &other,
+            &s.eval,
+            &config,
+            0,
+            &SimConfig::default(),
+        )
+        .err()
+        .ok_or("mismatched token must be refused")?;
+        assert!(
+            matches!(err, SimError::UnverifiedConfig { .. }),
+            "got {err}"
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn cosim_rejects_stale_schedule() -> TestResult {
         let mut adg = presets::softbrain();
-        let kernel = axpy(64);
-        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features()).unwrap();
+        let kernel = axpy(64)?;
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
         let victim = s
             .schedule
@@ -207,8 +269,8 @@ mod tests {
             .flatten()
             .copied()
             .next()
-            .expect("something placed");
-        adg.remove_node(victim).unwrap();
+            .ok_or("something placed")?;
+        adg.remove_node(victim)?;
         let err = simulate_functional(
             &adg,
             &kernel,
@@ -219,18 +281,20 @@ mod tests {
             &SimConfig::default(),
             &BTreeMap::new(),
         )
-        .expect_err("stale schedule must fail");
+        .err()
+        .ok_or("stale schedule must fail")?;
         assert!(matches!(err, CoSimError::Sim(_)), "got {err}");
         assert!(!err.to_string().is_empty());
+        Ok(())
     }
 
     #[test]
-    fn cosim_flags_underfired_regions() {
+    fn cosim_flags_underfired_regions() -> TestResult {
         // A starved cycle cap cuts the region short: the engine cannot
         // deliver every instance and the mismatch must be loud.
         let adg = presets::softbrain();
-        let kernel = axpy(4096);
-        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features()).unwrap();
+        let kernel = axpy(4096)?;
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
         assert!(s.is_legal());
         let err = simulate_functional(
@@ -243,7 +307,8 @@ mod tests {
             &SimConfig { max_cycles: 16 },
             &BTreeMap::new(),
         )
-        .expect_err("16-cycle cap cannot deliver 4096 instances");
+        .err()
+        .ok_or("16-cycle cap cannot deliver 4096 instances")?;
         match err {
             CoSimError::FiringMismatch {
                 region,
@@ -253,7 +318,8 @@ mod tests {
                 assert_eq!(region, 0);
                 assert!((fired as f64) < expected);
             }
-            other => panic!("unexpected error {other}"),
+            other => return Err(format!("unexpected error {other}").into()),
         }
+        Ok(())
     }
 }

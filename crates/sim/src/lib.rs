@@ -54,7 +54,8 @@ pub use cosim::{simulate_functional, CoSimError, CoSimReport};
 pub use engine::{simulate, try_simulate};
 
 /// Why a simulation could not run: the schedule references hardware the
-/// (possibly fault-degraded) ADG no longer has.
+/// (possibly fault-degraded) ADG no longer has, or the configuration was
+/// never verified against the schedule being simulated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
@@ -74,6 +75,15 @@ pub enum SimError {
         /// The missing edge.
         edge: dsagen_adg::EdgeId,
     },
+    /// The supplied [`dsagen_hwgen::VerifiedConfig`] was minted against a
+    /// different schedule — simulating it would model hardware programmed
+    /// with the wrong bitstream.
+    UnverifiedConfig {
+        /// Digest the configuration was verified against.
+        expected: u64,
+        /// Digest of the schedule handed to the simulator.
+        got: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -86,11 +96,45 @@ impl std::fmt::Display for SimError {
             SimError::MissingEdge { route, edge } => {
                 write!(f, "route {route} uses missing edge {edge}")
             }
+            SimError::UnverifiedConfig { expected, got } => write!(
+                f,
+                "config verified against schedule digest {expected:#018x}, \
+but simulating digest {got:#018x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// [`try_simulate`] gated on a verified configuration: refuses to run
+/// unless `config` (a capability token minted by
+/// [`dsagen_hwgen::verify_round_trip`]) was verified against exactly the
+/// schedule being simulated. This is the trust boundary of §VII — an
+/// encoder/decoder disagreement can never reach the cycle engine.
+///
+/// # Errors
+///
+/// [`SimError::UnverifiedConfig`] if the token does not match `schedule`,
+/// otherwise whatever [`try_simulate`] reports.
+#[allow(clippy::too_many_arguments)] // mirrors `try_simulate` plus the token
+pub fn try_simulate_verified(
+    adg: &dsagen_adg::Adg,
+    version: &dsagen_dfg::CompiledKernel,
+    schedule: &dsagen_scheduler::Schedule,
+    eval: &dsagen_scheduler::Evaluation,
+    config: &dsagen_hwgen::VerifiedConfig,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> Result<SimReport, SimError> {
+    if !config.matches(schedule) {
+        return Err(SimError::UnverifiedConfig {
+            expected: config.schedule_digest(),
+            got: dsagen_hwgen::schedule_digest(schedule),
+        });
+    }
+    try_simulate(adg, version, schedule, eval, config_path_len, cfg)
+}
 
 /// Simulator limits and switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,209 @@
+//! Corruption matrix: every config-plane fault kind crossed with paper
+//! workloads and multiple seeds, driven through the CRC-framed
+//! programming session.
+//!
+//! Contract under injection:
+//!
+//! - **No panics.** Every session runs to a terminal state no matter what
+//!   the channel does to the framed words.
+//! - **Transient faults recover.** A fault injected only on the first
+//!   round is healed by selective retransmission within the retry budget
+//!   and the session ends [`SessionState::Verified`].
+//! - **Persistent faults degrade gracefully.** A channel that corrupts
+//!   every round either still converges (when the corruption is benign,
+//!   e.g. reordering of self-sequenced frames) or fails *typed*: the
+//!   report carries a [`SessionError`] and names the unreachable nodes.
+//!
+//! The seed set is overridable via `DSAGAN_CORRUPTION_SEED` — see
+//! [`seeds`] — so CI can shard the matrix across jobs.
+
+use std::error::Error;
+
+use dsagen::adg::presets;
+use dsagen::dfg::{compile_kernel, Kernel, TransformConfig};
+use dsagen::faults::{corrupt_frames, FaultKind, FaultPlan};
+use dsagen::hwgen::{
+    verify_round_trip, Bitstream, ProgrammingSession, SessionConfig, SessionState,
+};
+use dsagen::scheduler::{schedule, Problem, SchedulerConfig};
+use dsagen::workloads::{machsuite, polybench};
+
+type TestResult = Result<(), Box<dyn Error>>;
+
+/// Seeds for the corruption matrix. `DSAGEN_CORRUPTION_SEED=<u64>`
+/// narrows the run to a single seed so CI can fan the matrix out.
+fn seeds() -> Vec<u64> {
+    match std::env::var("DSAGEN_CORRUPTION_SEED") {
+        Ok(s) => match s.trim().parse::<u64>() {
+            Ok(v) => vec![v],
+            Err(_) => vec![0xC0FFEE, 11, 2024],
+        },
+        Err(_) => vec![0xC0FFEE, 11, 2024],
+    }
+}
+
+fn workloads() -> Vec<(&'static str, Kernel)> {
+    vec![("mvt", polybench::mvt()), ("mm", machsuite::mm())]
+}
+
+/// Encodes one scheduled workload to its configuration bitstream.
+fn encode_workload(kernel: &Kernel, seed: u64) -> Result<Bitstream, Box<dyn Error>> {
+    let adg = presets::softbrain();
+    let ck = compile_kernel(kernel, &TransformConfig::fallback(), &adg.features())?;
+    let cfg = SchedulerConfig {
+        max_iters: 60,
+        seed,
+        ..SchedulerConfig::default()
+    };
+    let s = schedule(&adg, &ck, &cfg);
+    let problem = Problem::new(&adg, &ck);
+    // The encoder side must round-trip before we bother delivering it.
+    let token = verify_round_trip(&problem, &s.schedule)?;
+    assert!(token.word_count() > 0, "non-empty configuration");
+    Ok(Bitstream::encode(&problem, &s.schedule))
+}
+
+/// A fault injected on the first round only must be healed by the retry
+/// machinery: the session ends Verified within the budget, and detected
+/// corruption shows up in the counters rather than in the payload.
+#[test]
+fn transient_config_plane_faults_recover() -> TestResult {
+    for seed in seeds() {
+        for (name, kernel) in workloads() {
+            let bs = encode_workload(&kernel, seed)?;
+            for (ki, kind) in FaultKind::CONFIG_PLANE.into_iter().enumerate() {
+                let plan = FaultPlan::new(seed ^ (ki as u64) << 8).with(kind);
+                let mut session = ProgrammingSession::new(&bs, SessionConfig::default());
+                let report = session.program(|round, framed| {
+                    if round == 0 {
+                        corrupt_frames(framed, &plan).0
+                    } else {
+                        framed.to_vec()
+                    }
+                });
+                assert!(
+                    report.is_verified(),
+                    "{name} seed={seed} {kind}: transient fault must recover, got {report}"
+                );
+                assert_eq!(session.state(), SessionState::Verified);
+                assert!(
+                    report.attempts <= 1 + SessionConfig::default().max_retries,
+                    "{name} seed={seed} {kind}: attempts {} over budget",
+                    report.attempts
+                );
+                assert!(
+                    report.unreachable_nodes.is_empty(),
+                    "{name} seed={seed} {kind}: verified session left unreachable nodes"
+                );
+                if kind == FaultKind::BitFlip {
+                    assert!(
+                        report.crc_failures >= 1,
+                        "{name} seed={seed}: a bit flip must trip the CRC"
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A channel that corrupts *every* round can exhaust the retry budget.
+/// The session must still terminate, and a failure must be typed: an
+/// error in the report plus the set of nodes left unprogrammed.
+#[test]
+fn persistent_config_plane_faults_fail_typed() -> TestResult {
+    for seed in seeds() {
+        for (name, kernel) in workloads() {
+            let bs = encode_workload(&kernel, seed)?;
+            for (ki, kind) in FaultKind::CONFIG_PLANE.into_iter().enumerate() {
+                let mut session = ProgrammingSession::new(&bs, SessionConfig::default());
+                let report = session.program(|round, framed| {
+                    let plan =
+                        FaultPlan::new(seed ^ (ki as u64) << 8 ^ u64::from(round)).with(kind);
+                    corrupt_frames(framed, &plan).0
+                });
+                match report.state {
+                    SessionState::Verified => {
+                        // Benign persistent corruption (e.g. reordering of
+                        // self-sequenced frames, idempotent duplicates)
+                        // converges anyway; the counters must still show
+                        // the channel was not clean when frames were
+                        // dropped or damaged.
+                        assert!(report.error.is_none());
+                    }
+                    SessionState::Failed => {
+                        let err = report.error.as_ref().ok_or_else(|| {
+                            format!("{name} seed={seed} {kind}: failed without a typed error")
+                        })?;
+                        assert!(
+                            !err.to_string().is_empty(),
+                            "{name} seed={seed} {kind}: error must render"
+                        );
+                        assert!(
+                            !report.unreachable_nodes.is_empty()
+                                || !matches!(
+                                    err,
+                                    dsagen::hwgen::SessionError::Undelivered { .. }
+                                ),
+                            "{name} seed={seed} {kind}: undelivered failure must name nodes"
+                        );
+                    }
+                    other => {
+                        return Err(format!(
+                            "{name} seed={seed} {kind}: non-terminal state {other}"
+                        )
+                        .into())
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Structural fault kinds aimed at a word stream are skipped with a
+/// typed reason, never applied and never a panic — the config plane and
+/// the fabric plane stay disjoint end to end.
+#[test]
+fn structural_kinds_never_touch_the_stream() -> TestResult {
+    let seed = seeds()[0];
+    let (_, kernel) = workloads().swap_remove(0);
+    let bs = encode_workload(&kernel, seed)?;
+    let words = bs.to_words();
+    for kind in FaultKind::ALL {
+        let plan = FaultPlan::new(seed).with(kind);
+        let (out, report) = corrupt_frames(&words, &plan);
+        assert_eq!(out, words, "{kind}: structural kind must not alter words");
+        assert!(!report.any_applied(), "{kind}: must be skipped");
+        assert_eq!(report.skipped.len(), 1, "{kind}: skip must be recorded");
+    }
+    Ok(())
+}
+
+/// A zero-retry budget turns any detected corruption into an immediate,
+/// typed failure — the degenerate end of graceful degradation.
+#[test]
+fn zero_retry_budget_fails_loud_not_wrong() -> TestResult {
+    let seed = seeds()[0];
+    let (name, kernel) = workloads().swap_remove(0);
+    let bs = encode_workload(&kernel, seed)?;
+    let plan = FaultPlan::new(seed).with(FaultKind::BitFlip);
+    let cfg = SessionConfig {
+        max_retries: 0,
+        ..SessionConfig::default()
+    };
+    let mut session = ProgrammingSession::new(&bs, cfg);
+    let report = session.program(|_, framed| corrupt_frames(framed, &plan).0);
+    assert_eq!(
+        report.state,
+        SessionState::Failed,
+        "{name}: no retries, flipped bit must fail: {report}"
+    );
+    assert!(report.error.is_some());
+    assert_eq!(report.attempts, 1);
+    assert!(
+        !report.unreachable_nodes.is_empty(),
+        "{name}: the starved node must be reported"
+    );
+    Ok(())
+}

@@ -368,3 +368,120 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Framing properties are pure word-shuffling — cheap, so cover many
+    // (stream, flip) pairs.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-bit flip anywhere in a CRC-framed stream — payload,
+    /// sequence number, or checksum bits alike — is *detected*: deframing
+    /// never silently accepts a corrupted stream.
+    #[test]
+    fn single_bit_flip_in_framed_stream_is_detected(
+        payloads in prop::collection::vec(any::<u64>(), 1..24),
+        word_pick in any::<usize>(),
+        bit in 0u32..64,
+    ) {
+        use dsagen::hwgen::{deframe_words, frame_words};
+        let framed = frame_words(&payloads);
+        // Sanity: the clean stream deframes to the original payloads.
+        let clean = deframe_words(&framed, payloads.len())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(&clean, &payloads);
+        // One flipped bit, anywhere: never silently accepted.
+        let mut corrupt = framed.clone();
+        let w = word_pick % corrupt.len();
+        corrupt[w] ^= 1u64 << bit;
+        prop_assert!(
+            deframe_words(&corrupt, payloads.len()).is_err(),
+            "flip of bit {} in word {} went undetected",
+            bit,
+            w
+        );
+    }
+}
+
+proptest! {
+    // Each case runs a real scheduling pass before encoding; keep the
+    // count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// encode → decode → re-encode is bit-identical for random
+    /// (preset, scheduling-seed) pairs, and verification mints a token
+    /// bound to exactly that schedule — the contract `simulate` and the
+    /// explorer gate on.
+    #[test]
+    fn encode_decode_reencode_is_bit_identical(seed in any::<u64>(), which in 0usize..4) {
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        use dsagen::hwgen::{verify_round_trip, verify_round_trip_timed};
+        use dsagen::scheduler::{schedule, Problem, SchedulerConfig};
+
+        let all = [
+            presets::softbrain(),
+            presets::spu(),
+            presets::revel(),
+            presets::dse_initial(),
+        ];
+        let adg = &all[which];
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let cfg = SchedulerConfig { max_iters: 40, seed, ..SchedulerConfig::default() };
+        let s = schedule(adg, &ck, &cfg);
+        let problem = Problem::new(adg, &ck);
+        // Whatever schedule the stochastic search produced (legal or not),
+        // encode∘decode must be the identity on it.
+        let config = verify_round_trip(&problem, &s.schedule)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        prop_assert!(config.matches(&s.schedule));
+        let words = dsagen::hwgen::Bitstream::encode(&problem, &s.schedule).to_words();
+        prop_assert_eq!(config.words(), &words[..]);
+        // The timing-annotated encode round-trips too.
+        let timed = verify_round_trip_timed(&problem, &s.schedule, &s.eval)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        prop_assert!(timed.matches(&s.schedule));
+    }
+
+    /// A transient single-bit flip on the configuration channel is
+    /// recovered within the session retry budget: the corrupted frame is
+    /// detected (CRC), re-requested, and the session still reaches
+    /// `Verified` — never a silent misconfiguration, never a panic.
+    #[test]
+    fn transient_bit_flip_recovers_within_retry_budget(
+        seed in any::<u64>(),
+        flip_word in any::<usize>(),
+        bit in 0u32..64,
+    ) {
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        use dsagen::hwgen::{Bitstream, ProgrammingSession, SessionConfig, SessionState};
+        use dsagen::scheduler::{schedule, Problem, SchedulerConfig};
+
+        let adg = presets::softbrain();
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let cfg = SchedulerConfig { max_iters: 40, seed, ..SchedulerConfig::default() };
+        let s = schedule(&adg, &ck, &cfg);
+        let problem = Problem::new(&adg, &ck);
+        let bs = Bitstream::encode(&problem, &s.schedule);
+
+        let mut session = ProgrammingSession::new(&bs, SessionConfig::default());
+        let report = session.program(|round, frames| {
+            let mut out = frames.to_vec();
+            if round == 0 && !out.is_empty() {
+                let idx = flip_word % out.len();
+                out[idx] ^= 1u64 << bit;
+            }
+            out
+        });
+        prop_assert!(report.is_verified(), "{}", report);
+        prop_assert_eq!(session.state(), SessionState::Verified);
+        prop_assert!(report.crc_failures >= 1, "the flip must be detected");
+        prop_assert!(
+            report.attempts <= 1 + SessionConfig::default().max_retries,
+            "attempts {} exceed the retry budget",
+            report.attempts
+        );
+    }
+}
