@@ -1,0 +1,68 @@
+//! dse_timeline — convergence timeline of one instrumented DSE run.
+//!
+//! Runs a sharded design-space exploration with telemetry enabled, then
+//! renders the [`DseTimeline`] convergence report: steps, acceptance,
+//! rejection histogram, objective trajectory, schedule-cache effectiveness,
+//! and per-shard work/wall-time rows. Writes the same data as a JSON
+//! artifact (first CLI argument, default `dse_timeline.json`) and the
+//! run's Chrome trace alongside it (`dse_timeline.trace.json`).
+//!
+//! Deterministic: everything except the wall-time columns depends only on
+//! `(seed, shards)`.
+//!
+//! Run with: `cargo run --release -p dsagen-bench --bin dse_timeline`
+
+use dsagen_adg::presets;
+use dsagen_bench::rule;
+use dsagen_dse::{DseConfig, DseTimeline, Explorer};
+use dsagen_telemetry::{chrome_trace, Telemetry};
+use dsagen_workloads::{dsp, machsuite, polybench};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "dse_timeline.json".to_string());
+
+    let kernels = vec![polybench::mvt(), machsuite::mm(), dsp::fir16()];
+    let cfg = DseConfig {
+        max_iters: 40,
+        patience: 25,
+        sched_iters: 80,
+        max_unroll: 4,
+        shards: 4,
+        threads: 4,
+        ..DseConfig::default()
+    };
+
+    println!(
+        "DSE TIMELINE: {} kernels, {} shards, seed {:#x}",
+        kernels.len(),
+        cfg.shards,
+        cfg.seed
+    );
+    rule(92);
+
+    let tel = Telemetry::in_memory();
+    let mut explorer =
+        Explorer::new(presets::dse_initial(), &kernels, cfg).with_telemetry(tel.clone());
+    let result = explorer.run();
+    let timeline = DseTimeline::from_result(&result, explorer.telemetry_snapshot());
+
+    print!("{}", timeline.render());
+    rule(92);
+
+    if let Err(e) = std::fs::write(&out_path, timeline.to_json()) {
+        eprintln!("could not write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    let trace_path = out_path.replace(".json", ".trace.json");
+    let events = tel.events();
+    if let Err(e) = std::fs::write(&trace_path, chrome_trace(&events)) {
+        eprintln!("could not write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {out_path} and {trace_path} ({} events)",
+        events.len()
+    );
+}

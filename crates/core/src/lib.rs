@@ -59,7 +59,10 @@ pub use dsagen_hwgen as hwgen;
 pub use dsagen_model as model;
 pub use dsagen_scheduler as scheduler;
 pub use dsagen_sim as sim;
+pub use dsagen_telemetry as telemetry;
 pub use dsagen_workloads as workloads;
+
+pub mod attribution;
 
 use std::error::Error;
 use std::fmt;
@@ -72,7 +75,10 @@ use dsagen_scheduler::{schedule as run_scheduler, Evaluation, Problem, Schedule,
 
 /// Commonly used items for `use dsagen::prelude::*`.
 pub mod prelude {
-    pub use crate::{compile, generate, CompileError, CompileOptions, Compiled, Hardware};
+    pub use crate::attribution::{attribute, Attribution};
+    pub use crate::{
+        compile, compile_traced, generate, CompileError, CompileOptions, Compiled, Hardware,
+    };
     pub use dsagen_adg::{Adg, BitWidth, OpSet, Opcode, PeSpec, Scheduling, Sharing};
     pub use dsagen_dfg::{
         AffineExpr, Kernel, KernelBuilder, MemClass, TransformConfig, TripCount,
@@ -177,10 +183,32 @@ pub fn compile(
     kernel: &Kernel,
     opts: &CompileOptions,
 ) -> Result<Compiled, CompileError> {
+    compile_traced(adg, kernel, opts, &dsagen_telemetry::Telemetry::disabled())
+}
+
+/// [`compile`] with phase spans reported into `tel`: one outer
+/// `compile` span, per-candidate `schedule` spans (with legality and
+/// reseed counts), and a `model` span per surviving candidate. Passing
+/// [`dsagen_telemetry::Telemetry::disabled`] makes this byte-for-byte
+/// identical to [`compile`] — instrumentation never changes which
+/// version wins.
+///
+/// # Errors
+///
+/// Same contract as [`compile`].
+pub fn compile_traced(
+    adg: &Adg,
+    kernel: &Kernel,
+    opts: &CompileOptions,
+    tel: &dsagen_telemetry::Telemetry,
+) -> Result<Compiled, CompileError> {
+    let mut compile_span = tel.span("phase", format!("compile {}", kernel.name));
     kernel.validate()?;
     let features = adg.features();
-    let config_path_len = generate_config_paths(adg, opts.config_paths, opts.scheduler.seed)
-        .longest() as u32;
+    let config_path_len = {
+        let _span = tel.span("phase", "config-paths");
+        generate_config_paths(adg, opts.config_paths, opts.scheduler.seed).longest() as u32
+    };
     let perf_model = PerfModel::default();
 
     let mut best: Option<Compiled> = None;
@@ -193,21 +221,32 @@ pub fn compile(
         tried += 1;
         // The stochastic scheduler occasionally needs a reseed on tightly
         // constrained topologies; give each version a few attempts.
+        let mut sched_span = tel.span("phase", "schedule");
         let mut result = run_scheduler(adg, &version, &opts.scheduler);
+        let mut reseeds = 0u64;
         for retry in 1..3u64 {
             if result.is_legal() {
                 break;
             }
+            reseeds += 1;
             let reseeded = SchedulerConfig {
                 seed: opts.scheduler.seed.wrapping_add(retry * 0x9E37_79B9),
                 ..opts.scheduler
             };
             result = run_scheduler(adg, &version, &reseeded);
         }
+        sched_span.arg("candidate", tried);
+        sched_span.arg("unroll", u64::from(version.config.unroll));
+        sched_span.arg("legal", result.is_legal());
+        sched_span.arg("reseeds", reseeds);
+        sched_span.end();
         if !result.is_legal() {
             continue;
         }
-        let perf = perf_model.estimate(adg, &version, &result.schedule, &result.eval, config_path_len);
+        let perf = {
+            let _span = tel.span("phase", "model");
+            perf_model.estimate(adg, &version, &result.schedule, &result.eval, config_path_len)
+        };
         // Faster wins; performance ties break toward the version using
         // fewer instructions (less fabric, less energy — e.g. sub-word
         // packing at the same port-limited throughput).
@@ -227,6 +266,9 @@ pub fn compile(
             });
         }
     }
+    compile_span.arg("candidates", tried);
+    compile_span.arg("legal_version_found", best.is_some());
+    compile_span.end();
     match best {
         Some(mut c) => {
             c.candidates_tried = tried;

@@ -25,6 +25,7 @@ use dsagen_scheduler::{
     evaluate as evaluate_schedule, repair_with_escalation, schedule, Problem, Schedule,
     SchedulerConfig,
 };
+use dsagen_telemetry::{EventData, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -175,7 +176,14 @@ impl std::fmt::Display for RejectReason {
 }
 
 /// One point of the exploration trace (drives Fig 11 and Fig 14).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Besides the objective trajectory, each record carries the step's
+/// *deterministic* work counters — scheduling passes executed and
+/// schedule-cache hits/misses observed during this step — plus its
+/// wall-clock time. Equality deliberately ignores `wall_ms` (the one
+/// non-deterministic field), preserving the byte-identical-trace
+/// contracts across thread counts and reruns.
+#[derive(Debug, Clone)]
 pub struct IterRecord {
     /// Step number (0 = initial evaluation).
     pub iter: u32,
@@ -193,6 +201,44 @@ pub struct IterRecord {
     /// analysis distinguish "evaluated worse" from "crashed / timed out /
     /// infeasible" candidates.
     pub rejected_reason: Option<RejectReason>,
+    /// Stochastic scheduling passes executed during this step
+    /// (deterministic).
+    pub sched_passes: u64,
+    /// Schedule-cache hits (exact + footprint) observed during this step
+    /// (deterministic).
+    pub cache_hits: u64,
+    /// Schedule-cache misses observed during this step (deterministic).
+    pub cache_misses: u64,
+    /// Wall-clock time of this step in milliseconds. **Excluded from
+    /// equality** — timing is the one field allowed to differ between
+    /// otherwise identical runs.
+    pub wall_ms: f64,
+}
+
+impl PartialEq for IterRecord {
+    /// All fields except `wall_ms` (see the type-level docs).
+    fn eq(&self, other: &Self) -> bool {
+        self.iter == other.iter
+            && self.area_mm2 == other.area_mm2
+            && self.power_mw == other.power_mw
+            && self.objective == other.objective
+            && self.perf == other.perf
+            && self.accepted == other.accepted
+            && self.rejected_reason == other.rejected_reason
+            && self.sched_passes == other.sched_passes
+            && self.cache_hits == other.cache_hits
+            && self.cache_misses == other.cache_misses
+    }
+}
+
+/// Work-counter snapshot taken at the top of a step; see
+/// [`Explorer::mark`] / [`Explorer::since`].
+#[derive(Clone, Copy)]
+struct StepMark {
+    at: Instant,
+    sched: u64,
+    hits: u64,
+    misses: u64,
 }
 
 /// Final result of an exploration run.
@@ -265,6 +311,64 @@ pub struct Explorer {
     area_model: AreaPowerModel,
     perf_model: PerfModel,
     used_ops: OpSet,
+    /// Which shard this explorer is (0 for the serial / root explorer);
+    /// stamped onto telemetry events.
+    shard_index: usize,
+    /// Telemetry handle — disabled by default, so instrumentation costs
+    /// one branch per emission site. Cloned into every forked shard.
+    telemetry: Telemetry,
+}
+
+/// A coherent snapshot of every explorer statistic, taken at one instant.
+///
+/// All counters are **cumulative since [`Explorer::new`]** and, after a
+/// sharded [`Explorer::run`], **aggregated across every shard** (each
+/// shard starts from fresh counters; the reduction absorbs them all, so
+/// totals cover the whole run regardless of shard/thread layout).
+/// Calling [`Explorer::run`] or [`Explorer::evaluate`] again keeps
+/// accumulating — subtract two snapshots for per-run deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TelemetrySnapshot {
+    /// Schedule-cache hit/miss counters.
+    pub cache: CacheStats,
+    /// Stochastic scheduling passes executed (every cache hit is a pass
+    /// *not* counted here).
+    pub sched_invocations: u64,
+    /// Schedules rejected by bitstream round-trip verification.
+    pub config_rejections: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Field-wise difference (`self − earlier`) for per-run deltas.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            cache: CacheStats {
+                exact_hits: self.cache.exact_hits - earlier.cache.exact_hits,
+                footprint_hits: self.cache.footprint_hits - earlier.cache.footprint_hits,
+                misses: self.cache.misses - earlier.cache.misses,
+                insertions: self.cache.insertions - earlier.cache.insertions,
+            },
+            sched_invocations: self.sched_invocations - earlier.sched_invocations,
+            config_rejections: self.config_rejections - earlier.config_rejections,
+        }
+    }
+}
+
+impl std::fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sched passes {} · cache {:.1}% hit ({} exact + {} footprint / {} lookups) · \
+config rejections {}",
+            self.sched_invocations,
+            self.cache.hit_rate() * 100.0,
+            self.cache.exact_hits,
+            self.cache.footprint_hits,
+            self.cache.lookups(),
+            self.config_rejections
+        )
+    }
 }
 
 impl Explorer {
@@ -311,7 +415,24 @@ impl Explorer {
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops,
+            shard_index: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry handle. The handle is cloned into every
+    /// forked shard, so events from a sharded run share one sink (Chrome
+    /// traces get one lane per worker thread). Instrumentation never
+    /// changes exploration results — only observes them.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.telemetry = tel;
+    }
+
+    /// Builder-style [`Explorer::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
+        self.telemetry = tel;
+        self
     }
 
     /// The current (accepted) design.
@@ -320,28 +441,95 @@ impl Explorer {
         &self.adg
     }
 
-    /// Schedule-cache hit/miss counters (aggregated across shards after a
-    /// sharded [`Explorer::run`]).
+    /// Schedule-cache hit/miss counters — cumulative since
+    /// [`Explorer::new`], aggregated across shards after a sharded
+    /// [`Explorer::run`] (see [`TelemetrySnapshot`] for the exact
+    /// semantics shared by all three getters).
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
-    /// Stochastic scheduling passes executed so far (aggregated across
-    /// shards after a sharded run). Every cache hit is a pass *not*
-    /// counted here — the quantity the memoization exists to minimize.
+    /// Stochastic scheduling passes executed — cumulative since
+    /// [`Explorer::new`], aggregated across shards after a sharded run.
+    /// Every cache hit is a pass *not* counted here — the quantity the
+    /// memoization exists to minimize.
     #[must_use]
     pub fn sched_invocations(&self) -> u64 {
         self.sched_invocations
     }
 
-    /// Schedules rejected by bitstream round-trip verification so far
-    /// (aggregated across shards after a sharded run). Always zero unless
-    /// the encoder/decoder pair disagrees — every count here is a design
-    /// the explorer refused to simulate on integrity grounds.
+    /// Schedules rejected by bitstream round-trip verification —
+    /// cumulative since [`Explorer::new`], aggregated across shards after
+    /// a sharded run. Always zero unless the encoder/decoder pair
+    /// disagrees — every count here is a design the explorer refused to
+    /// simulate on integrity grounds.
     #[must_use]
     pub fn config_rejections(&self) -> u64 {
         self.config_rejections
+    }
+
+    /// All explorer statistics read at one instant, with one shared
+    /// semantics (cumulative, shard-aggregated — see
+    /// [`TelemetrySnapshot`]). Prefer this over calling the individual
+    /// getters when reporting, so counters can never be mixed across
+    /// moments.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            cache: self.cache.stats(),
+            sched_invocations: self.sched_invocations,
+            config_rejections: self.config_rejections,
+        }
+    }
+
+    /// Marks the current instant and deterministic work counters, so a
+    /// step's [`IterRecord`] deltas can be computed with
+    /// [`Explorer::since`].
+    fn mark(&self) -> StepMark {
+        let s = self.cache.stats();
+        StepMark {
+            at: Instant::now(),
+            sched: self.sched_invocations,
+            hits: s.exact_hits + s.footprint_hits,
+            misses: s.misses,
+        }
+    }
+
+    /// `(sched_passes, cache_hits, cache_misses, wall_ms)` accrued since
+    /// `mark` was taken. The first three are deterministic; `wall_ms` is
+    /// wall-clock and excluded from trace equality.
+    fn since(&self, mark: StepMark) -> (u64, u64, u64, f64) {
+        let s = self.cache.stats();
+        (
+            self.sched_invocations - mark.sched,
+            (s.exact_hits + s.footprint_hits) - mark.hits,
+            s.misses - mark.misses,
+            mark.at.elapsed().as_secs_f64() * 1e3,
+        )
+    }
+
+    /// Emits one `dse/iteration` event for a completed step. Free when
+    /// telemetry is disabled (a single branch; the closure never runs).
+    fn emit_iter(&self, rec: &IterRecord) {
+        let shard = self.shard_index;
+        self.telemetry.emit(|| {
+            let mut ev = EventData::new("dse", "iteration")
+                .arg("iter", u64::from(rec.iter))
+                .arg("shard", shard as u64)
+                .arg("accepted", rec.accepted)
+                .arg("objective", rec.objective)
+                .arg("area_mm2", rec.area_mm2)
+                .arg("perf", rec.perf)
+                .arg("sched_passes", rec.sched_passes)
+                .arg("cache_hits", rec.cache_hits)
+                .arg("cache_misses", rec.cache_misses)
+                .arg("wall_ms", rec.wall_ms);
+            if let Some(reason) = rec.rejected_reason {
+                ev = ev.arg("rejected", reason.to_string());
+            }
+            ev
+        });
     }
 
     /// Evaluates the current design: schedules every satisfiable version
@@ -658,10 +846,19 @@ impl Explorer {
         } else {
             self.cfg.shards
         };
-        if shards <= 1 {
-            return self.run_serial();
-        }
-        self.run_sharded(shards)
+        let mut span = self.telemetry.span("phase", "dse");
+        span.arg("shards", shards);
+        span.arg("seed", self.cfg.seed);
+        let result = if shards <= 1 {
+            self.run_serial()
+        } else {
+            self.run_sharded(shards)
+        };
+        span.arg("iters", result.trace.len());
+        span.arg("best_objective", result.best.objective);
+        span.arg("objective_gain", result.objective_gain());
+        span.end();
+        result
     }
 
     /// The serial exploration loop (§V steps 1–2e): mutate, evaluate with
@@ -673,7 +870,9 @@ impl Explorer {
     /// [`RejectReason`] in its [`IterRecord`], so a run always completes
     /// with a full trace even if individual candidates crash.
     fn run_serial(&mut self) -> DseResult {
+        let mark = self.mark();
         let initial = self.evaluate();
+        let (sched_passes, cache_hits, cache_misses, wall_ms) = self.since(mark);
         let mut trace = vec![IterRecord {
             iter: 0,
             area_mm2: initial.cost.area_mm2,
@@ -682,10 +881,17 @@ impl Explorer {
             perf: initial.perf,
             accepted: true,
             rejected_reason: None,
+            sched_passes,
+            cache_hits,
+            cache_misses,
+            wall_ms,
         }];
+        self.emit_iter(&trace[0]);
         // Opening trim, then re-evaluate: this is the loop's baseline.
+        let mark = self.mark();
         self.trim_redundant_features();
         let trimmed = self.evaluate();
+        let (sched_passes, cache_hits, cache_misses, wall_ms) = self.since(mark);
         let mut best = if trimmed.objective >= initial.objective {
             trimmed
         } else {
@@ -699,13 +905,19 @@ impl Explorer {
             perf: best.perf,
             accepted: true,
             rejected_reason: None,
+            sched_passes,
+            cache_hits,
+            cache_misses,
+            wall_ms,
         });
+        self.emit_iter(&trace[1]);
         let mut best_adg = self.adg.clone();
         let mut best_schedules = self.schedules.clone();
         let mut best_footprints = self.footprints.clone();
         let mut stale = 0u32;
 
         for iter in 1..=self.cfg.max_iters {
+            let mark = self.mark();
             // Mutate (redraw until something applies, bounded).
             let backup_adg = self.adg.clone();
             let backup_scheds = self.schedules.clone();
@@ -719,6 +931,7 @@ impl Explorer {
             }
             if !mutated {
                 stale += 1;
+                let (sched_passes, cache_hits, cache_misses, wall_ms) = self.since(mark);
                 trace.push(IterRecord {
                     iter,
                     area_mm2: best.cost.area_mm2,
@@ -727,7 +940,12 @@ impl Explorer {
                     perf: best.perf,
                     accepted: false,
                     rejected_reason: Some(RejectReason::NoMutation),
+                    sched_passes,
+                    cache_hits,
+                    cache_misses,
+                    wall_ms,
                 });
+                self.emit_iter(trace.last().expect("just pushed"));
                 if stale >= self.cfg.patience {
                     break;
                 }
@@ -762,6 +980,7 @@ impl Explorer {
                     (false, Some(reason))
                 }
             };
+            let (sched_passes, cache_hits, cache_misses, wall_ms) = self.since(mark);
             trace.push(IterRecord {
                 iter,
                 area_mm2: best.cost.area_mm2,
@@ -770,7 +989,12 @@ impl Explorer {
                 perf: best.perf,
                 accepted,
                 rejected_reason,
+                sched_passes,
+                cache_hits,
+                cache_misses,
+                wall_ms,
             });
+            self.emit_iter(trace.last().expect("just pushed"));
             if stale >= self.cfg.patience {
                 break;
             }
@@ -813,6 +1037,8 @@ impl Explorer {
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops: self.used_ops,
+            shard_index: shard,
+            telemetry: self.telemetry.clone(),
         }
     }
 

@@ -38,10 +38,12 @@
 mod cache;
 mod explorer;
 mod mutate;
+mod timeline;
 
 pub use cache::{schedule_footprint, CacheEntry, CacheStats, ScheduleCache};
 pub use explorer::{
     explore, max_feature_set, shard_seed, DseConfig, DsePoint, DseResult, Explorer, IterRecord,
-    RejectReason,
+    RejectReason, TelemetrySnapshot,
 };
 pub use mutate::{mutate, Mutation};
+pub use timeline::{DseTimeline, ShardSummary};

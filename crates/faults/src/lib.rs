@@ -53,6 +53,7 @@
 use std::fmt;
 
 use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind, Routing};
+use dsagen_telemetry::{EventData, Telemetry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -110,6 +111,17 @@ impl FaultKind {
     #[must_use]
     pub fn is_config_plane(self) -> bool {
         Self::CONFIG_PLANE.contains(&self)
+    }
+
+    /// Which plane this kind attacks, as a telemetry label:
+    /// `"structural"` (hardware graph) or `"config"` (bitstream words).
+    #[must_use]
+    pub fn plane(self) -> &'static str {
+        if self.is_config_plane() {
+            "config"
+        } else {
+            "structural"
+        }
     }
 }
 
@@ -312,6 +324,19 @@ impl fmt::Display for FaultReport {
 /// degraded one.
 #[must_use]
 pub fn inject(adg: &Adg, plan: &FaultPlan) -> (Adg, FaultReport) {
+    inject_with_telemetry(adg, plan, &Telemetry::disabled())
+}
+
+/// [`inject`] with structured telemetry: every plan entry emits exactly one
+/// `fault` event in plan order — `fault/injected` (args: `kind`, `target`,
+/// `plane`, `detail`) when applied, `fault/skipped` (args: `kind`, `plane`,
+/// `reason`) when validate-rollback rejected it. The event log is therefore
+/// *equivalent to the plan*: one event per requested fault, in order,
+/// mirroring [`FaultReport`] exactly. Telemetry never affects the injection
+/// itself — `inject_with_telemetry(adg, plan, tel)` returns byte-identical
+/// results to `inject(adg, plan)`.
+#[must_use]
+pub fn inject_with_telemetry(adg: &Adg, plan: &FaultPlan, tel: &Telemetry) -> (Adg, FaultReport) {
     let mut current = adg.clone();
     let mut report = FaultReport::default();
     let mut rng = StdRng::seed_from_u64(plan.seed);
@@ -319,13 +344,39 @@ pub fn inject(adg: &Adg, plan: &FaultPlan) -> (Adg, FaultReport) {
         match apply_one(&current, kind, &mut rng) {
             Ok((next, injected)) => {
                 current = next;
+                emit_injected(tel, &injected);
                 report.applied.push(injected);
             }
-            Err(reason) => report.skipped.push(SkippedFault { kind, reason }),
+            Err(reason) => {
+                let skipped = SkippedFault { kind, reason };
+                emit_skipped(tel, &skipped);
+                report.skipped.push(skipped);
+            }
         }
     }
     debug_assert!(current.validate().is_ok(), "inject must preserve validity");
     (current, report)
+}
+
+/// Emits one `fault/injected` event for an applied fault.
+fn emit_injected(tel: &Telemetry, injected: &InjectedFault) {
+    tel.emit(|| {
+        EventData::new("fault", "injected")
+            .arg("kind", injected.kind.to_string())
+            .arg("target", injected.target.to_string())
+            .arg("plane", injected.kind.plane())
+            .arg("detail", injected.detail.clone())
+    });
+}
+
+/// Emits one `fault/skipped` event for a rolled-back fault.
+fn emit_skipped(tel: &Telemetry, skipped: &SkippedFault) {
+    tel.emit(|| {
+        EventData::new("fault", "skipped")
+            .arg("kind", skipped.kind.to_string())
+            .arg("plane", skipped.kind.plane())
+            .arg("reason", skipped.reason.clone())
+    });
 }
 
 /// Tries to apply one fault, returning the mutated graph on success.
@@ -454,14 +505,36 @@ not the hardware graph — use corrupt_stream/corrupt_words/corrupt_frames"
 /// the same corruption.
 #[must_use]
 pub fn corrupt_stream(words: &[u64], frame_len: usize, plan: &FaultPlan) -> (Vec<u64>, FaultReport) {
+    corrupt_stream_with_telemetry(words, frame_len, plan, &Telemetry::disabled())
+}
+
+/// [`corrupt_stream`] with structured telemetry, under the same
+/// log/plan-equivalence contract as [`inject_with_telemetry`]: one
+/// `fault/injected` or `fault/skipped` event per plan entry, in order,
+/// mirroring the returned [`FaultReport`]. Telemetry never changes the
+/// corruption itself.
+#[must_use]
+pub fn corrupt_stream_with_telemetry(
+    words: &[u64],
+    frame_len: usize,
+    plan: &FaultPlan,
+    tel: &Telemetry,
+) -> (Vec<u64>, FaultReport) {
     let frame_len = frame_len.max(1);
     let mut stream: Vec<u64> = words.to_vec();
     let mut report = FaultReport::default();
     let mut rng = StdRng::seed_from_u64(plan.seed ^ 0xB17_F11B);
     for &kind in &plan.faults {
         match corrupt_one(&mut stream, frame_len, kind, &mut rng) {
-            Ok(injected) => report.applied.push(injected),
-            Err(reason) => report.skipped.push(SkippedFault { kind, reason }),
+            Ok(injected) => {
+                emit_injected(tel, &injected);
+                report.applied.push(injected);
+            }
+            Err(reason) => {
+                let skipped = SkippedFault { kind, reason };
+                emit_skipped(tel, &skipped);
+                report.skipped.push(skipped);
+            }
         }
     }
     (stream, report)
@@ -896,6 +969,79 @@ mod tests {
         let (out, report) = corrupt_words(&[], &FaultPlan::new(1).with(FaultKind::BitFlip));
         assert!(out.is_empty());
         assert_eq!(report.skipped.len(), 1, "{report}");
+    }
+
+    // ---- telemetry --------------------------------------------------------
+
+    /// The `(name, kind)` pairs of every `fault` event in a log, in
+    /// emission order.
+    fn fault_log(tel: &Telemetry) -> Vec<(String, String)> {
+        tel.events()
+            .iter()
+            .filter(|e| e.cat == "fault")
+            .map(|e| {
+                let kind = e
+                    .args
+                    .iter()
+                    .find(|(k, _)| *k == "kind")
+                    .map(|(_, v)| v.to_string())
+                    .unwrap_or_default();
+                (e.name.clone(), kind.trim_matches('"').to_string())
+            })
+            .collect()
+    }
+
+    /// Asserts log/plan (and log/report) equivalence: one `fault` event
+    /// per plan entry, kinds in plan order, and the injected/skipped
+    /// subsequences matching the report's applied/skipped lists exactly.
+    fn assert_log_matches(log: &[(String, String)], plan: &FaultPlan, report: &FaultReport) {
+        assert_eq!(log.len(), plan.faults.len(), "{report}");
+        for (i, (_, kind)) in log.iter().enumerate() {
+            assert_eq!(kind, &plan.faults[i].to_string(), "event {i} kind");
+        }
+        let injected: Vec<&String> = log
+            .iter()
+            .filter(|(n, _)| n == "injected")
+            .map(|(_, k)| k)
+            .collect();
+        let skipped: Vec<&String> = log
+            .iter()
+            .filter(|(n, _)| n == "skipped")
+            .map(|(_, k)| k)
+            .collect();
+        let applied_kinds: Vec<String> = report.applied.iter().map(|a| a.kind.to_string()).collect();
+        let skipped_kinds: Vec<String> = report.skipped.iter().map(|s| s.kind.to_string()).collect();
+        assert_eq!(injected, applied_kinds.iter().collect::<Vec<_>>(), "{report}");
+        assert_eq!(skipped, skipped_kinds.iter().collect::<Vec<_>>(), "{report}");
+    }
+
+    #[test]
+    fn telemetry_log_is_equivalent_to_plan() {
+        let adg = presets::softbrain();
+        for seed in 0..4u64 {
+            let plan = FaultPlan::random(seed, 5);
+            let tel = Telemetry::in_memory();
+            let (degraded, report) = inject_with_telemetry(&adg, &plan, &tel);
+            // Telemetry is invisible: identical results to the plain call.
+            let (plain, plain_report) = inject(&adg, &plan);
+            assert_eq!(degraded, plain);
+            assert_eq!(report, plain_report);
+            // Log/plan equivalence: one event per plan entry, in order,
+            // kinds matching the plan exactly.
+            assert_log_matches(&fault_log(&tel), &plan, &report);
+        }
+    }
+
+    #[test]
+    fn stream_corruption_telemetry_log_is_equivalent_to_plan() {
+        let words = sample_stream(12);
+        let plan = FaultPlan::random_config_plane(0xFACE, 4);
+        let tel = Telemetry::in_memory();
+        let (stream, report) = corrupt_stream_with_telemetry(&words, 2, &plan, &tel);
+        let (plain, plain_report) = corrupt_frames(&words, &plan);
+        assert_eq!(stream, plain);
+        assert_eq!(report, plain_report);
+        assert_log_matches(&fault_log(&tel), &plan, &report);
     }
 
     #[test]

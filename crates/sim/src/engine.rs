@@ -6,13 +6,17 @@
 //! its operands are buffered, its outputs have space, its initiation
 //! interval has elapsed, and its recurrences allow.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dsagen_adg::{Adg, CtrlSpec, NodeId, NodeKind};
 use dsagen_dfg::{CompiledKernel, CompiledRegion, StreamDir, StreamSource};
 use dsagen_scheduler::{Evaluation, Problem, Schedule};
 
+use crate::telemetry::{PeCounters, RegionTally, SimTelemetry, StallTaxonomy, StreamCounters};
 use crate::{SimConfig, SimReport, StallBreakdown};
+
+/// Cycles charged for each inter-group barrier + fence drain.
+const BARRIER_CYCLES: u64 = 64;
 
 /// Effective fraction of banks usable by random indirect traffic (expected
 /// distinct banks hit by b uniform requests ≈ 1 − 1/e).
@@ -50,6 +54,15 @@ struct StreamState {
     is_read: bool,
     /// Served by the control core element-by-element.
     ctrl_fed: bool,
+    // ---- hardware counters (always tallied; plain increments) ----
+    /// Cycles in which the stream delivered at least one element.
+    issued: u64,
+    /// Cycles in which the stream wanted to move data but could not.
+    stalled: u64,
+    /// Highest FIFO occupancy observed.
+    highwater: f64,
+    /// Total elements moved.
+    moved: f64,
 }
 
 struct RegionState {
@@ -63,6 +76,8 @@ struct RegionState {
     /// The region cannot complete before the control core has executed its
     /// scalar fallback work (1 op/cycle).
     ctrl_floor: u64,
+    /// Exclusive per-cycle stall/fire tallies (hardware counters).
+    tally: RegionTally,
 }
 
 /// Simulates one kernel version end to end, after checking that the
@@ -125,15 +140,62 @@ pub fn simulate(
     config_path_len: u32,
     cfg: &SimConfig,
 ) -> SimReport {
+    simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg).0
+}
+
+/// [`simulate`] plus full hardware counters, with telemetry events for
+/// the run emitted into `tel` (a span covering the engine, per-PE /
+/// per-stream counter instants, and a summary). The returned
+/// [`SimReport`] is **bit-identical** to what [`simulate`] produces for
+/// the same inputs — instrumentation never perturbs the simulation.
+#[must_use]
+pub fn simulate_instrumented(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+    tel: &dsagen_telemetry::Telemetry,
+) -> (SimReport, SimTelemetry) {
+    let mut span = tel.span("phase", "simulate");
+    let (report, telemetry) = simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg);
+    span.arg("cycles", report.cycles);
+    span.arg("pes", telemetry.pes.len());
+    span.arg("streams", telemetry.streams.len());
+    span.end();
+    telemetry.emit(tel);
+    (report, telemetry)
+}
+
+/// Shared engine body: runs the cycle loop and harvests both the public
+/// report and the attributed hardware counters.
+///
+/// Kept out-of-line so [`simulate`] and [`simulate_instrumented`] execute
+/// the *same machine code* for the engine itself — the instrumented entry
+/// adds only the span/emit wrappers, which is what the telemetry_overhead
+/// gate measures.
+#[inline(never)]
+fn simulate_collect(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> (SimReport, SimTelemetry) {
     let problem = Problem::new(adg, kernel);
     let stream_mems = schedule.stream_memories(&problem);
     let ctrl = control_spec(adg);
 
-    let mut total_cycles = u64::from(config_path_len); // configuration load
+    let config_cycles = u64::from(config_path_len);
+    let mut total_cycles = config_cycles; // configuration load
     let mut region_cycles = vec![0u64; kernel.regions.len()];
     let mut firings = vec![0u64; kernel.regions.len()];
     let mut active_cycles = vec![0u64; kernel.regions.len()];
     let mut stalls = StallBreakdown::default();
+    let mut tallies = vec![RegionTally::default(); kernel.regions.len()];
+    let mut stream_counters: Vec<StreamCounters> = Vec::new();
 
     // Partition regions into pipeline groups.
     let mut groups: Vec<Vec<usize>> = Vec::new();
@@ -150,6 +212,7 @@ pub fn simulate(
         groups.push(current);
     }
 
+    let mut group_cycles = Vec::with_capacity(groups.len());
     for (gi, group) in groups.iter().enumerate() {
         let cycles = simulate_group(
             adg,
@@ -163,10 +226,16 @@ pub fn simulate(
             &mut firings,
             &mut active_cycles,
             &mut stalls,
+            &mut tallies,
+            &mut stream_counters,
         );
+        group_cycles.push(cycles);
+        for &ri in group {
+            tallies[ri].group = gi;
+        }
         total_cycles += cycles;
         if gi + 1 < groups.len() {
-            total_cycles += 64; // barrier + fence drain between groups
+            total_cycles += BARRIER_CYCLES; // barrier + fence drain between groups
         }
     }
 
@@ -175,13 +244,103 @@ pub fn simulate(
         .iter()
         .map(|r| r.dfg.inst_count() as f64 * r.instances)
         .sum();
-    SimReport {
+    let report = SimReport {
         cycles: total_cycles,
         region_cycles,
         firings,
         active_cycles,
         ipc: total_insts / total_cycles.max(1) as f64,
         stalls,
+    };
+    let barrier_cycles = BARRIER_CYCLES * (groups.len() as u64).saturating_sub(1);
+    let telemetry = attribute(
+        adg,
+        schedule,
+        &problem,
+        &report,
+        &tallies,
+        stream_counters,
+        group_cycles,
+        config_cycles,
+        barrier_cycles,
+    );
+    (report, telemetry)
+}
+
+/// Joins the engine's raw tallies against the schedule's placement to
+/// produce per-PE counters that satisfy the conservation laws documented
+/// in [`crate::telemetry`].
+#[allow(clippy::too_many_arguments)]
+fn attribute(
+    adg: &Adg,
+    schedule: &Schedule,
+    problem: &Problem<'_>,
+    report: &SimReport,
+    tallies: &[RegionTally],
+    streams: Vec<StreamCounters>,
+    group_cycles: Vec<u64>,
+    config_cycles: u64,
+    barrier_cycles: u64,
+) -> SimTelemetry {
+    let mut pes = Vec::new();
+    for (ri, tally) in tallies.iter().enumerate() {
+        // Distinct PE nodes hosting this region's operations.
+        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+        if let Some(ops) = problem.op_entity.get(ri) {
+            for &entity in ops {
+                if entity == usize::MAX {
+                    continue; // constants are not placed
+                }
+                if let Some(Some(node)) = schedule.placement.get(entity) {
+                    if matches!(adg.kind(*node), Ok(NodeKind::Pe(_))) {
+                        nodes.insert(*node);
+                    }
+                }
+            }
+        }
+        let taxonomy = StallTaxonomy {
+            backpressure: tally.backpressure,
+            operand_wait: tally.operands,
+            memory: 0, // stream-level; see module docs
+            barrier: barrier_cycles,
+            config: config_cycles,
+            ii: tally.ii,
+            ctrl: 0, // stream-level; see module docs
+        };
+        let stalled = taxonomy.total();
+        let busy = tally.fired_cycles;
+        for node in nodes {
+            pes.push(PeCounters {
+                node,
+                region: ri,
+                cycles: report.cycles,
+                fired: report.firings.get(ri).copied().unwrap_or(0),
+                busy,
+                stalled,
+                idle: report.cycles.saturating_sub(busy + stalled),
+                stalls: taxonomy,
+            });
+        }
+    }
+    let taxonomy = StallTaxonomy {
+        backpressure: report.stalls.backpressure,
+        operand_wait: report.stalls.operands,
+        memory: report.stalls.memory,
+        barrier: barrier_cycles,
+        config: config_cycles,
+        ii: report.stalls.ii,
+        ctrl: report.stalls.ctrl,
+    };
+    SimTelemetry {
+        cycles: report.cycles,
+        config_cycles,
+        barrier_cycles,
+        region_group: tallies.iter().map(|t| t.group).collect(),
+        region_tallies: tallies.to_vec(),
+        group_cycles,
+        pes,
+        streams,
+        taxonomy,
     }
 }
 
@@ -198,6 +357,8 @@ fn simulate_group(
     firings: &mut [u64],
     active_cycles: &mut [u64],
     stalls: &mut StallBreakdown,
+    tallies: &mut [RegionTally],
+    stream_counters: &mut Vec<StreamCounters>,
 ) -> u64 {
     // Build per-region state.
     let mut regions: Vec<(usize, RegionState)> = group
@@ -248,6 +409,8 @@ fn simulate_group(
                         });
                         if amount > 0.0 {
                             deliver(s, amount);
+                        } else {
+                            s.stalled += 1; // blocked on the fabric-side FIFO
                         }
                     }
                     continue;
@@ -255,6 +418,7 @@ fn simulate_group(
                 let budget = mem_budget.entry(mem).or_insert(1.0);
                 if *budget <= 0.0 {
                     stalls.memory += 1;
+                    s.stalled += 1; // lost memory-port arbitration
                     continue;
                 }
                 let amount = s
@@ -268,6 +432,8 @@ fn simulate_group(
                 if amount > 0.0 {
                     *budget -= 1.0;
                     deliver(s, amount);
+                } else {
+                    s.stalled += 1; // port FIFO full (read) / empty (write)
                 }
             }
         }
@@ -287,6 +453,7 @@ fn simulate_group(
                         deliver(s, amount);
                     } else {
                         stalls.ctrl += 1;
+                        s.stalled += 1; // control core could not feed
                     }
                 }
             }
@@ -314,6 +481,7 @@ fn simulate_group(
             }
             if (cycle as f64) < rs.next_fire {
                 stalls.ii += 1;
+                rs.tally.ii += 1;
                 continue;
             }
             // Operand availability & output space.
@@ -329,10 +497,12 @@ fn simulate_group(
                 .all(|s| s.fifo_cap - s.fifo + 1e-9 >= s.per_firing);
             if !inputs_ready {
                 stalls.operands += 1;
+                rs.tally.operands += 1;
                 continue;
             }
             if !outputs_ready {
                 stalls.backpressure += 1;
+                rs.tally.backpressure += 1;
                 continue;
             }
             // Fire one instance.
@@ -342,10 +512,14 @@ fn simulate_group(
                     s.fifo = (s.fifo - need).max(0.0);
                 } else {
                     s.fifo += s.per_firing;
+                    if s.fifo > s.highwater {
+                        s.highwater = s.fifo;
+                    }
                 }
             }
             rs.firings_left -= 1.0;
             rs.fired += 1;
+            rs.tally.fired_cycles += 1;
             firings[*ri] += 1;
             active_cycles[*ri] += 1;
             rs.next_fire = cycle as f64 + rs.ii.max(rs.rec_gate);
@@ -355,6 +529,24 @@ fn simulate_group(
     for (ri, rs) in &regions {
         if rs.done_at.is_none() {
             region_cycles[*ri] = cycle;
+        }
+    }
+
+    // Harvest hardware counters.
+    for (ri, rs) in regions {
+        tallies[ri] = rs.tally;
+        for (si, s) in rs.streams.into_iter().enumerate() {
+            stream_counters.push(StreamCounters {
+                region: ri,
+                index: si,
+                is_read: s.is_read,
+                ctrl_fed: s.ctrl_fed,
+                issued: s.issued,
+                stalled: s.stalled,
+                elems: s.moved,
+                fifo_highwater: s.highwater,
+                fifo_cap: s.fifo_cap,
+            });
         }
     }
     cycle
@@ -370,8 +562,13 @@ impl StreamState {
 }
 
 fn deliver(s: &mut StreamState, amount: f64) {
+    s.issued += 1;
+    s.moved += amount;
     if s.is_read {
         s.fifo = (s.fifo + amount).min(s.fifo_cap);
+        if s.fifo > s.highwater {
+            s.highwater = s.fifo;
+        }
     } else {
         s.fifo = (s.fifo - amount).max(0.0);
     }
@@ -468,6 +665,10 @@ fn region_state(
             elems_per_cycle,
             is_read: is_input,
             ctrl_fed,
+            issued: 0,
+            stalled: 0,
+            highwater: 0.0,
+            moved: 0.0,
         });
     }
 
@@ -480,6 +681,7 @@ fn region_state(
         done_at: None,
         streams,
         ctrl_floor: region.ctrl_ops.ceil() as u64,
+        tally: RegionTally::default(),
     }
 }
 

@@ -49,9 +49,11 @@
 
 mod cosim;
 mod engine;
+pub mod telemetry;
 
 pub use cosim::{simulate_functional, CoSimError, CoSimReport};
-pub use engine::{simulate, try_simulate};
+pub use engine::{simulate, simulate_instrumented, try_simulate};
+pub use telemetry::{PeCounters, SimTelemetry, StallTaxonomy, StreamCounters};
 
 /// Why a simulation could not run: the schedule references hardware the
 /// (possibly fault-degraded) ADG no longer has, or the configuration was
@@ -397,6 +399,59 @@ mod tests {
             matches!(err, SimError::MissingEdge { edge, .. } if edge == used_edge),
             "unexpected error {err}"
         );
+    }
+
+    #[test]
+    fn instrumented_run_is_invisible_and_conserves_cycles() {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(&dot(1024), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        let plain = simulate(&adg, &ck, &s.schedule, &s.eval, 37, &SimConfig::default());
+        let tel = dsagen_telemetry::Telemetry::in_memory();
+        let (instrumented, hw) = simulate_instrumented(
+            &adg,
+            &ck,
+            &s.schedule,
+            &s.eval,
+            37,
+            &SimConfig::default(),
+            &tel,
+        );
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(plain, instrumented);
+        assert_eq!(hw.cycles, plain.cycles);
+        assert_eq!(hw.config_cycles, 37);
+        // Per-PE conservation: busy + idle + stalled == cycles, taxonomy
+        // covers every stall.
+        assert!(!hw.pes.is_empty(), "dot maps ops onto PEs");
+        for pe in &hw.pes {
+            assert_eq!(pe.busy + pe.idle + pe.stalled, pe.cycles, "{pe:?}");
+            assert_eq!(pe.stalls.total(), pe.stalled, "{pe:?}");
+            assert_eq!(pe.fired, plain.firings[pe.region]);
+            assert_eq!(pe.busy, plain.active_cycles[pe.region]);
+        }
+        // Aggregate taxonomy ties back to the public stall breakdown.
+        let t = &hw.taxonomy;
+        assert_eq!(t.backpressure, plain.stalls.backpressure);
+        assert_eq!(t.operand_wait, plain.stalls.operands);
+        assert_eq!(t.memory, plain.stalls.memory);
+        assert_eq!(t.ii, plain.stalls.ii);
+        assert_eq!(t.ctrl, plain.stalls.ctrl);
+        assert_eq!(t.config, 37);
+        // Streams moved every element and observed a sane high-water mark.
+        assert!(!hw.streams.is_empty());
+        for st in &hw.streams {
+            assert!(st.fifo_highwater <= st.fifo_cap + 1e-9, "{st:?}");
+            assert!(st.elems > 0.0);
+            assert!(st.issued > 0);
+        }
+        // Counter events landed in the sink.
+        let events = tel.events();
+        assert!(events.iter().any(|e| e.cat == "phase" && e.name == "simulate"));
+        assert!(events.iter().any(|e| e.cat == "sim.counters"));
+        // And the JSON rendering is balanced.
+        let json = hw.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]

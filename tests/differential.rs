@@ -299,14 +299,22 @@ fn run_one(adg: &Adg, w: &Workload) -> Status {
     }
 }
 
+/// Renders the per-kernel pass table and logs it at `info` level
+/// (visible with `DSAGEN_LOG=info`); failures are still reported through
+/// panics, so the table is informational only.
 fn print_table(rows: &[(String, &'static str, Status)]) {
-    eprintln!("\n{:-<76}", "");
-    eprintln!("{:<16} {:<12} result", "kernel", "adg");
-    eprintln!("{:-<76}", "");
+    use std::fmt::Write as _;
+    let mut table = String::new();
+    let _ = write!(
+        table,
+        "\n{:-<76}\n{:<16} {:<12} result\n{:-<76}",
+        "", "kernel", "adg", ""
+    );
     for (name, adg, status) in rows {
-        eprintln!("{name:<16} {adg:<12} {}", status.label());
+        let _ = write!(table, "\n{name:<16} {adg:<12} {}", status.label());
     }
-    eprintln!("{:-<76}", "");
+    let _ = write!(table, "\n{:-<76}", "");
+    dsagen::telemetry::log(dsagen::telemetry::Level::Info, table);
 }
 
 #[test]

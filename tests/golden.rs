@@ -37,7 +37,10 @@ fn check_golden(name: &str, actual: &str) {
     if update_mode() {
         std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
         std::fs::write(&path, actual).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-        eprintln!("updated golden file {}", path.display());
+        dsagen::telemetry::log(
+            dsagen::telemetry::Level::Warn,
+            format!("updated golden file {}", path.display()),
+        );
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {

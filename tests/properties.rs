@@ -225,7 +225,8 @@ proptest! {
         count in 0usize..12,
         which in 0usize..7,
     ) {
-        use dsagen::faults::{inject, FaultPlan};
+        use dsagen::faults::{inject, inject_with_telemetry, FaultPlan};
+        use dsagen::telemetry::Telemetry;
         let all = [
             presets::softbrain(),
             presets::spu(),
@@ -237,17 +238,37 @@ proptest! {
         ];
         let adg = &all[which];
         let plan = FaultPlan::random(seed, count);
-        let (faulty, report) = inject(adg, &plan);
+        let tel = Telemetry::in_memory();
+        let (faulty, report) = inject_with_telemetry(adg, &plan, &tel);
         // Degraded hardware is still legal hardware.
         prop_assert!(faulty.validate().is_ok(), "{}: {:?}", adg.name(), faulty.validate());
         // Every requested fault is accounted for: applied or skipped-with-reason.
         prop_assert_eq!(report.applied.len() + report.skipped.len(), plan.faults.len());
+        // Log/plan equivalence: telemetry logged exactly one `fault` event
+        // per plan entry, in plan order, kinds matching the plan, with the
+        // injected/skipped split mirroring the report.
+        let log: Vec<_> = tel.events().into_iter().filter(|e| e.cat == "fault").collect();
+        prop_assert_eq!(log.len(), plan.faults.len());
+        for (i, ev) in log.iter().enumerate() {
+            let kind = ev.args.iter().find(|(k, _)| *k == "kind")
+                .map(|(_, v)| v.to_string()).unwrap_or_default();
+            prop_assert_eq!(kind.trim_matches('"'), plan.faults[i].to_string());
+        }
+        prop_assert_eq!(
+            log.iter().filter(|e| e.name == "injected").count(),
+            report.applied.len()
+        );
+        prop_assert_eq!(
+            log.iter().filter(|e| e.name == "skipped").count(),
+            report.skipped.len()
+        );
         // Injection never touches the input graph.
         prop_assert!(adg.validate().is_ok());
-        // Determinism: the same plan reproduces the same degraded graph.
+        // Determinism + telemetry invisibility: the plain, uninstrumented
+        // call reproduces the same degraded graph and report.
         let (again, report2) = inject(adg, &plan);
         prop_assert_eq!(&faulty, &again);
-        prop_assert_eq!(report.applied.len(), report2.applied.len());
+        prop_assert_eq!(&report, &report2);
     }
 }
 
