@@ -77,8 +77,11 @@ use dsagen_scheduler::{schedule as run_scheduler, Evaluation, Problem, Schedule,
 pub mod prelude {
     pub use crate::attribution::{attribute, Attribution};
     pub use crate::{
-        compile, compile_traced, generate, CompileError, CompileOptions, Compiled, Hardware,
+        compile, compile_traced, generate, recover, CompileError, CompileOptions, Compiled,
+        Hardware,
     };
+    pub use dsagen_faults::{FaultLifetime, FaultSchedule};
+    pub use dsagen_sim::{RecoveryError, RecoveryPolicy, RecoveryReport};
     pub use dsagen_adg::{Adg, BitWidth, OpSet, Opcode, PeSpec, Scheduling, Sharing};
     pub use dsagen_dfg::{
         AffineExpr, Kernel, KernelBuilder, MemClass, TransformConfig, TripCount,
@@ -302,6 +305,38 @@ pub fn generate(adg: &Adg, compiled: &Compiled, config_paths: usize, seed: u64) 
         config_paths: generate_config_paths(adg, config_paths, seed),
         verilog: dsagen_hwgen::emit_verilog(adg),
     }
+}
+
+/// Runs a [`Compiled`] kernel on `adg` under a mid-execution
+/// [`FaultSchedule`](dsagen_faults::FaultSchedule), recovering every
+/// detected fault: checkpoint → online repair → verified reprogramming →
+/// resume. Convenience wrapper over
+/// [`dsagen_sim::run_with_recovery`] that unpacks the compiled artifact.
+///
+/// # Errors
+///
+/// A typed [`dsagen_sim::RecoveryError`] for every terminal failure mode
+/// (`Unrecoverable` when repair exhausts its escalation budget). Never
+/// panics.
+pub fn recover(
+    adg: &Adg,
+    compiled: &Compiled,
+    cfg: &dsagen_sim::SimConfig,
+    faults: &dsagen_faults::FaultSchedule,
+    policy: &dsagen_sim::RecoveryPolicy,
+    tel: &dsagen_telemetry::Telemetry,
+) -> Result<dsagen_sim::RecoveryReport, dsagen_sim::RecoveryError> {
+    dsagen_sim::run_with_recovery(
+        adg,
+        &compiled.version,
+        &compiled.schedule,
+        &compiled.eval,
+        compiled.config_path_len,
+        cfg,
+        faults,
+        policy,
+        tel,
+    )
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use dsagen_adg::{Adg, FeatureSet, OpSet};
 use dsagen_dfg::{compile_kernel, enumerate_configs, CompiledKernel, Kernel};
+use dsagen_faults::FaultSchedule;
 use dsagen_hwgen::{generate_config_paths, verify_round_trip_timed};
 use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
 use dsagen_scheduler::{
@@ -82,6 +83,49 @@ pub struct DseConfig {
     /// exploration step, to exercise the [`RejectReason::ConfigMismatch`]
     /// path deterministically. `None` (always, in production) disables it.
     pub fail_config_at_iter: Option<u32>,
+    /// Score candidates by *recovered throughput* under a sampled runtime
+    /// fault schedule instead of fault-free performance alone. `None`
+    /// (the default) preserves the classic objective exactly.
+    pub reliability: Option<ReliabilityMode>,
+}
+
+/// Reliability-aware scoring: each candidate's per-kernel performance is
+/// multiplied by its *recovered-throughput factor* — the fraction of
+/// fault-free throughput the design sustains when a sampled
+/// [`FaultSchedule`] strikes mid-execution and the runtime recovery flow
+/// (detect → checkpoint → repair → verified reprogram → resume) handles
+/// it. Designs that cannot be repaired score near zero; designs with
+/// spare routes/PEs that repair cleanly keep most of their performance.
+///
+/// The factor is a pure function of `(sample seed, hardware fingerprint,
+/// kernel hash)`, so sharded/threaded exploration stays deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityMode {
+    /// Base seed for the sampled fault schedules.
+    pub seed: u64,
+    /// Faults drawn per sampled schedule.
+    pub faults: usize,
+    /// Arrival horizon in cycles (faults strike uniformly in `[1, horizon)`).
+    pub horizon: u64,
+    /// Blend weight in `[0, 1]`: the scoring multiplier is
+    /// `(1 − weight) + weight × factor`, so `1.0` scores by recovered
+    /// throughput alone and `0.0` degenerates to the classic objective.
+    pub weight: f64,
+    /// Recovered-throughput factor assigned to designs whose recovery
+    /// *fails* (unrecoverable / verification / delivery failure).
+    pub failure_factor: f64,
+}
+
+impl Default for ReliabilityMode {
+    fn default() -> Self {
+        ReliabilityMode {
+            seed: 0xFA17,
+            faults: 2,
+            horizon: 4096,
+            weight: 1.0,
+            failure_factor: 0.05,
+        }
+    }
 }
 
 /// Worker-thread default: `DSAGEN_DSE_THREADS`, or 1.
@@ -110,6 +154,7 @@ impl Default for DseConfig {
             eval_budget_ms: None,
             panic_at_iter: None,
             fail_config_at_iter: None,
+            reliability: None,
         }
     }
 }
@@ -307,6 +352,9 @@ pub struct Explorer {
     /// Schedules whose encoded configuration failed bitstream round-trip
     /// verification (each one a version written off, never simulated).
     config_rejections: u64,
+    /// Memoized recovered-throughput factors, keyed by
+    /// `(adg fingerprint, kernel hash)` — content-addressed, never stale.
+    reliability_cache: HashMap<(u64, u64), f64>,
     rng: StdRng,
     area_model: AreaPowerModel,
     perf_model: PerfModel,
@@ -412,6 +460,7 @@ impl Explorer {
             cache: ScheduleCache::new(),
             sched_invocations: 0,
             config_rejections: 0,
+            reliability_cache: HashMap::new(),
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops,
@@ -712,11 +761,24 @@ impl Explorer {
                 }
                 self.schedules.insert(key, result.schedule);
             }
-            match best {
-                Some((_, perf)) => log_perf_sum += perf.max(1e-9).ln(),
-                None => any_unmapped = true,
+            if best.is_none() {
+                any_unmapped = true;
             }
             per_kernel.push(best);
+        }
+
+        // Aggregate after the version loop so reliability scoring (which
+        // needs `&mut self` for its memo cache) can run per winner.
+        for (ki, entry) in per_kernel.iter().enumerate() {
+            if let Some((vi, perf)) = *entry {
+                let mult = match self.cfg.reliability {
+                    Some(mode) => {
+                        self.reliability_multiplier(ki, vi, config_len, &sched_cfg, mode, adg_fp)
+                    }
+                    None => 1.0,
+                };
+                log_perf_sum += (perf * mult).max(1e-9).ln();
+            }
         }
 
         let n = self.versions.len().max(1) as f64;
@@ -737,6 +799,95 @@ impl Explorer {
             perf,
             cost,
             per_kernel,
+        }
+    }
+
+    /// The reliability-mode scoring multiplier for kernel `ki`'s winning
+    /// version `vi`: `(1 − weight) + weight × factor`, where `factor` is
+    /// the recovered-throughput fraction
+    /// `fault-free cycles / recovered total cycles` of the design under a
+    /// sampled fault schedule ([`ReliabilityMode::failure_factor`] when
+    /// recovery fails). Memoized by `(adg fingerprint, kernel hash)`;
+    /// deterministic regardless of shard/thread layout.
+    fn reliability_multiplier(
+        &mut self,
+        ki: usize,
+        vi: usize,
+        config_len: u32,
+        sched_cfg: &SchedulerConfig,
+        mode: ReliabilityMode,
+        adg_fp: u64,
+    ) -> f64 {
+        let ck_hash = self.version_hashes[ki][vi];
+        let factor = match self.reliability_cache.get(&(adg_fp, ck_hash)) {
+            Some(&f) => f,
+            None => {
+                let f = self.recovered_throughput(ki, vi, config_len, sched_cfg, mode, ck_hash);
+                self.reliability_cache.insert((adg_fp, ck_hash), f);
+                f
+            }
+        };
+        let w = mode.weight.clamp(0.0, 1.0);
+        (1.0 - w) + w * factor
+    }
+
+    /// Simulates kernel `ki` version `vi` under a sampled runtime fault
+    /// schedule with the full recovery flow and returns the fraction of
+    /// fault-free throughput that survives.
+    fn recovered_throughput(
+        &self,
+        ki: usize,
+        vi: usize,
+        config_len: u32,
+        sched_cfg: &SchedulerConfig,
+        mode: ReliabilityMode,
+        ck_hash: u64,
+    ) -> f64 {
+        let version = &self.versions[ki][vi];
+        let Some(sched) = self.schedules.get(&(ki, vi)) else {
+            return mode.failure_factor.clamp(0.0, 1.0);
+        };
+        let problem = Problem::new(&self.adg, version);
+        let eval = evaluate_schedule(&problem, sched, &sched_cfg.weights);
+        if !eval.feasible {
+            return mode.failure_factor.clamp(0.0, 1.0);
+        }
+        let sim_cfg = dsagen_sim::SimConfig::default();
+        let Ok(fault_free) =
+            dsagen_sim::try_simulate(&self.adg, version, sched, &eval, config_len, &sim_cfg)
+        else {
+            return mode.failure_factor.clamp(0.0, 1.0);
+        };
+        // Sample deterministically per design point; arrivals beyond the
+        // run length strike after completion and cost nothing, which is
+        // honest — short kernels dodge late faults.
+        let horizon = mode.horizon.max(2).min(fault_free.cycles.max(2));
+        let faults = FaultSchedule::random(mode.seed ^ ck_hash, mode.faults, horizon);
+        let policy = dsagen_sim::RecoveryPolicy {
+            scheduler: SchedulerConfig {
+                max_iters: sched_cfg.max_iters,
+                seed: sched_cfg.seed ^ 0xFA17,
+                ..SchedulerConfig::default()
+            },
+            repair_attempts: 2,
+            ..dsagen_sim::RecoveryPolicy::default()
+        };
+        match dsagen_sim::run_with_recovery(
+            &self.adg,
+            version,
+            sched,
+            &eval,
+            config_len,
+            &sim_cfg,
+            &faults,
+            &policy,
+            &self.telemetry,
+        ) {
+            Ok(rep) if rep.total_cycles > 0 => {
+                (fault_free.cycles as f64 / rep.total_cycles as f64).clamp(0.0, 1.0)
+            }
+            Ok(_) => 1.0,
+            Err(_) => mode.failure_factor.clamp(0.0, 1.0),
         }
     }
 
@@ -1034,6 +1185,7 @@ impl Explorer {
             cache: ScheduleCache::new(),
             sched_invocations: 0,
             config_rejections: 0,
+            reliability_cache: HashMap::new(),
             area_model: AreaPowerModel::default(),
             perf_model: PerfModel::default(),
             used_ops: self.used_ops,
@@ -1249,6 +1401,49 @@ pub(crate) mod tests {
         let p = ex.evaluate();
         assert!(p.objective > 0.0, "point: {p:?}");
         assert!(p.per_kernel.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn reliability_mode_is_deterministic_and_only_shrinks_perf() {
+        let mode = ReliabilityMode {
+            faults: 1,
+            horizon: 1024,
+            ..ReliabilityMode::default()
+        };
+        let cfg = DseConfig {
+            reliability: Some(mode),
+            ..serial_cfg()
+        };
+        let pa = Explorer::new(presets::dse_initial(), &small_kernels(), cfg).evaluate();
+        let pb = Explorer::new(presets::dse_initial(), &small_kernels(), cfg).evaluate();
+        assert_eq!(pa.objective, pb.objective, "reliability scoring must be deterministic");
+        assert_eq!(pa.perf, pb.perf);
+        assert!(pa.objective.is_finite() && pa.objective >= 0.0);
+
+        // Recovered throughput can never exceed fault-free throughput.
+        let plain_cfg = DseConfig {
+            reliability: None,
+            ..cfg
+        };
+        let pc = Explorer::new(presets::dse_initial(), &small_kernels(), plain_cfg).evaluate();
+        assert!(
+            pa.perf <= pc.perf + 1e-9,
+            "reliability perf {} exceeds fault-free perf {}",
+            pa.perf,
+            pc.perf
+        );
+
+        // weight = 0 degenerates to the classic objective exactly.
+        let neutral_cfg = DseConfig {
+            reliability: Some(ReliabilityMode {
+                weight: 0.0,
+                ..mode
+            }),
+            ..cfg
+        };
+        let pn = Explorer::new(presets::dse_initial(), &small_kernels(), neutral_cfg).evaluate();
+        assert_eq!(pn.perf, pc.perf, "weight=0 must not perturb the objective");
+        assert_eq!(pn.objective, pc.objective);
     }
 
     #[test]

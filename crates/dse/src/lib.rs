@@ -43,7 +43,7 @@ mod timeline;
 pub use cache::{schedule_footprint, CacheEntry, CacheStats, ScheduleCache};
 pub use explorer::{
     explore, max_feature_set, shard_seed, DseConfig, DsePoint, DseResult, Explorer, IterRecord,
-    RejectReason, TelemetrySnapshot,
+    RejectReason, ReliabilityMode, TelemetrySnapshot,
 };
 pub use mutate::{mutate, Mutation};
 pub use timeline::{DseTimeline, ShardSummary};

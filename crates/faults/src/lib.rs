@@ -50,6 +50,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod schedule;
+
+pub use schedule::{FaultLifetime, FaultSchedule, TimedFault, RUNTIME_KINDS};
+
 use std::fmt;
 
 use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind, Routing};
@@ -232,6 +236,12 @@ pub struct InjectedFault {
     pub detail: String,
 }
 
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {} ({})", self.kind, self.target, self.detail)
+    }
+}
+
 /// One fault that could not be applied without breaking the graph's
 /// composition rules, recorded instead of silently dropped.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -240,6 +250,12 @@ pub struct SkippedFault {
     pub kind: FaultKind,
     /// Why no viable target existed.
     pub reason: String,
+}
+
+impl fmt::Display for SkippedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} skipped: {}", self.kind, self.reason)
+    }
 }
 
 /// Structured record of an [`inject`] run.
@@ -304,10 +320,10 @@ impl fmt::Display for FaultReport {
             self.skipped.len()
         )?;
         for a in &self.applied {
-            write!(f, "; {} @ {} ({})", a.kind, a.target, a.detail)?;
+            write!(f, "; {a}")?;
         }
         for s in &self.skipped {
-            write!(f, "; {} skipped: {}", s.kind, s.reason)?;
+            write!(f, "; {s}")?;
         }
         Ok(())
     }

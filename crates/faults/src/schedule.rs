@@ -1,0 +1,308 @@
+//! Temporal fault schedules: *when* a fault strikes and *how long* it
+//! lives, layered on the structural damage model of [`FaultPlan`].
+//!
+//! [`FaultPlan`] describes damage that exists before anything runs — the
+//! pre-silicon / pre-compilation view used by `inject`. A deployed
+//! accelerator also degrades *mid-execution*: a PE burns out after a
+//! million cycles, a link flakes intermittently under thermal stress, a
+//! transient particle strike corrupts a window of results and then
+//! clears. [`FaultSchedule`] captures that temporal dimension: each
+//! [`TimedFault`] is a structural fault kind plus an **arrival cycle**
+//! and a [`FaultLifetime`] (transient, intermittent, or permanent).
+//!
+//! The schedule itself is hardware-agnostic — victims are resolved
+//! deterministically against a concrete (ADG, schedule) pair by the
+//! runtime simulator (`dsagen_sim::runtime`), using [`FaultSchedule::seed`]
+//! so the same schedule always strikes the same hardware. The
+//! [`FaultSchedule::structural_plan`] view projects the permanent faults
+//! back onto a plain [`FaultPlan`] for tools that only understand static
+//! damage.
+//!
+//! Determinism contract: every function here is a pure function of the
+//! seed — the same `(seed, count, horizon)` always yields the same
+//! schedule, which is what makes recovery experiments reproducible.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{FaultKind, FaultPlan};
+
+/// How long a runtime fault stays active after its arrival cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultLifetime {
+    /// Active for `duration` cycles starting at the arrival cycle, then
+    /// clears (particle strike, voltage droop).
+    Transient {
+        /// Active cycles after arrival.
+        duration: u64,
+    },
+    /// Active for the first `duty` cycles of every `period`-cycle window
+    /// after arrival (thermal flakiness, marginal timing).
+    Intermittent {
+        /// Window length in cycles.
+        period: u64,
+        /// Active cycles at the start of each window (clamped to
+        /// `period`).
+        duty: u64,
+    },
+    /// Active forever once arrived (electromigration, burned-out FU).
+    Permanent,
+}
+
+impl FaultLifetime {
+    /// Whether a fault with this lifetime, arrived at `arrival`, is
+    /// active at `cycle`.
+    #[must_use]
+    pub fn active(self, arrival: u64, cycle: u64) -> bool {
+        if cycle < arrival {
+            return false;
+        }
+        let since = cycle - arrival;
+        match self {
+            FaultLifetime::Transient { duration } => since < duration,
+            FaultLifetime::Intermittent { period, duty } => {
+                let period = period.max(1);
+                since % period < duty.clamp(1, period)
+            }
+            FaultLifetime::Permanent => true,
+        }
+    }
+
+    /// Whether the fault never clears on its own.
+    #[must_use]
+    pub fn is_permanent(self) -> bool {
+        matches!(self, FaultLifetime::Permanent)
+    }
+}
+
+impl fmt::Display for FaultLifetime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultLifetime::Transient { duration } => write!(f, "transient({duration})"),
+            FaultLifetime::Intermittent { period, duty } => {
+                write!(f, "intermittent({duty}/{period})")
+            }
+            FaultLifetime::Permanent => f.write_str("permanent"),
+        }
+    }
+}
+
+/// One structural fault with an arrival time and a lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedFault {
+    /// Simulated cycle at which the fault first strikes (0 = present
+    /// from the first executed cycle).
+    pub arrival: u64,
+    /// How long the fault stays active.
+    pub lifetime: FaultLifetime,
+    /// What breaks. Only structural kinds are meaningful at runtime;
+    /// config-plane kinds are rejected by the runtime resolver.
+    pub kind: FaultKind,
+}
+
+impl TimedFault {
+    /// Whether the fault is active at `cycle`.
+    #[must_use]
+    pub fn active_at(&self, cycle: u64) -> bool {
+        self.lifetime.active(self.arrival, cycle)
+    }
+}
+
+impl fmt::Display for TimedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @{} ({})", self.kind, self.arrival, self.lifetime)
+    }
+}
+
+/// The runtime fault kinds a [`FaultSchedule::random`] draw can produce.
+///
+/// * [`FaultKind::DeadPe`] / [`FaultKind::SeveredLink`] are **blocking**
+///   faults: the hardware element stops moving data, so affected regions
+///   stall and the progress watchdog catches them.
+/// * [`FaultKind::StuckSwitch`] is a **silent-corruption** fault: routing
+///   still moves data but delivers the wrong operands, so affected
+///   regions keep firing and produce poisoned results that only a
+///   result-residue check catches.
+pub const RUNTIME_KINDS: [FaultKind; 3] = [
+    FaultKind::DeadPe,
+    FaultKind::SeveredLink,
+    FaultKind::StuckSwitch,
+];
+
+/// A seeded, reproducible schedule of mid-execution faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    /// Seed for victim resolution: the same seed against the same
+    /// (ADG, schedule) pair always strikes the same hardware.
+    pub seed: u64,
+    /// Faults in arrival order (not enforced; the runtime sorts by
+    /// arrival internally where it matters).
+    pub faults: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given victim-resolution seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Appends one timed fault (builder style).
+    #[must_use]
+    pub fn with(mut self, arrival: u64, lifetime: FaultLifetime, kind: FaultKind) -> Self {
+        self.faults.push(TimedFault {
+            arrival,
+            lifetime,
+            kind,
+        });
+        self
+    }
+
+    /// A schedule of `count` faults with kinds drawn uniformly from
+    /// [`RUNTIME_KINDS`], arrivals uniform in `[1, horizon)`, and
+    /// lifetimes mixed (≈⅓ transient, ⅓ intermittent, ⅓ permanent) with
+    /// seed-derived durations. Deterministic in `(seed, count, horizon)`.
+    #[must_use]
+    pub fn random(seed: u64, count: usize, horizon: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x7E3A_0F42_51C6_88DDu64);
+        let horizon = horizon.max(2);
+        let faults = (0..count)
+            .map(|_| {
+                let kind = RUNTIME_KINDS[rng.gen_range(0..RUNTIME_KINDS.len())];
+                let arrival = rng.gen_range(1..horizon);
+                let lifetime = match rng.gen_range(0..3u8) {
+                    0 => FaultLifetime::Transient {
+                        duration: rng.gen_range(16..512u64),
+                    },
+                    1 => FaultLifetime::Intermittent {
+                        period: rng.gen_range(64..512u64),
+                        duty: rng.gen_range(8..64u64),
+                    },
+                    _ => FaultLifetime::Permanent,
+                };
+                TimedFault {
+                    arrival,
+                    lifetime,
+                    kind,
+                }
+            })
+            .collect();
+        FaultSchedule { seed, faults }
+    }
+
+    /// Whether the schedule contains no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The earliest arrival cycle, if any fault is scheduled.
+    #[must_use]
+    pub fn first_arrival(&self) -> Option<u64> {
+        self.faults.iter().map(|f| f.arrival).min()
+    }
+
+    /// Projects the *permanent* faults onto a plain [`FaultPlan`] — the
+    /// static damage an offline tool (e.g. `inject`) would see once every
+    /// permanent fault has arrived. Transient and intermittent faults
+    /// have no static projection.
+    #[must_use]
+    pub fn structural_plan(&self) -> FaultPlan {
+        FaultPlan {
+            seed: self.seed,
+            faults: self
+                .faults
+                .iter()
+                .filter(|f| f.lifetime.is_permanent())
+                .map(|f| f.kind)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for FaultSchedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} timed fault(s)", self.faults.len())?;
+        for fault in &self.faults {
+            write!(f, "; {fault}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifetimes_activate_correctly() {
+        let t = FaultLifetime::Transient { duration: 10 };
+        assert!(!t.active(100, 99));
+        assert!(t.active(100, 100));
+        assert!(t.active(100, 109));
+        assert!(!t.active(100, 110));
+
+        let i = FaultLifetime::Intermittent { period: 10, duty: 3 };
+        assert!(i.active(0, 0));
+        assert!(i.active(0, 2));
+        assert!(!i.active(0, 3));
+        assert!(i.active(0, 10));
+        assert!(!i.active(0, 19));
+
+        let p = FaultLifetime::Permanent;
+        assert!(!p.active(5, 4));
+        assert!(p.active(5, 1_000_000));
+    }
+
+    #[test]
+    fn degenerate_lifetimes_do_not_divide_by_zero() {
+        let i = FaultLifetime::Intermittent { period: 0, duty: 0 };
+        // period clamps to 1, duty clamps into [1, period] — always active.
+        assert!(i.active(0, 0));
+        assert!(i.active(0, 7));
+    }
+
+    #[test]
+    fn random_schedule_is_reproducible_and_bounded() {
+        let a = FaultSchedule::random(42, 8, 1000);
+        let b = FaultSchedule::random(42, 8, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), 8);
+        for f in &a.faults {
+            assert!(f.arrival >= 1 && f.arrival < 1000, "{f}");
+            assert!(RUNTIME_KINDS.contains(&f.kind), "{f}");
+        }
+        assert_ne!(FaultSchedule::random(43, 8, 1000), a);
+    }
+
+    #[test]
+    fn structural_plan_keeps_only_permanent_faults() {
+        let s = FaultSchedule::new(7)
+            .with(10, FaultLifetime::Permanent, FaultKind::DeadPe)
+            .with(20, FaultLifetime::Transient { duration: 5 }, FaultKind::SeveredLink)
+            .with(30, FaultLifetime::Permanent, FaultKind::StuckSwitch);
+        let plan = s.structural_plan();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.faults, vec![FaultKind::DeadPe, FaultKind::StuckSwitch]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = FaultSchedule::new(1).with(
+            64,
+            FaultLifetime::Intermittent { period: 32, duty: 4 },
+            FaultKind::DeadPe,
+        );
+        let txt = s.to_string();
+        assert!(txt.contains("dead-pe"), "{txt}");
+        assert!(txt.contains("@64"), "{txt}");
+        assert!(txt.contains("intermittent(4/32)"), "{txt}");
+        assert!(s.first_arrival() == Some(64));
+    }
+}

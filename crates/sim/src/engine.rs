@@ -5,18 +5,25 @@
 //! requests into port FIFOs, and each region's dataflow fabric fires when
 //! its operands are buffered, its outputs have space, its initiation
 //! interval has elapsed, and its recurrences allow.
+//!
+//! The engine is a **stateful, cloneable machine** ([`EngineCore`]) driven
+//! one cycle at a time by [`EngineCore::tick`]. Every public entry point —
+//! [`simulate`], [`simulate_instrumented`], [`try_simulate`], and the
+//! runtime fault path in [`crate::runtime`] — drives the *same* core, so a
+//! checkpointed-and-resumed run is bit-identical to an uninterrupted one
+//! by construction: checkpointing is just cloning the core.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, HashMap};
 
 use dsagen_adg::{Adg, CtrlSpec, NodeId, NodeKind};
 use dsagen_dfg::{CompiledKernel, CompiledRegion, StreamDir, StreamSource};
 use dsagen_scheduler::{Evaluation, Problem, Schedule};
 
-use crate::telemetry::{PeCounters, RegionTally, SimTelemetry, StallTaxonomy, StreamCounters};
+use crate::telemetry::{RegionTally, SimTelemetry, StreamCounters};
 use crate::{SimConfig, SimReport, StallBreakdown};
 
 /// Cycles charged for each inter-group barrier + fence drain.
-const BARRIER_CYCLES: u64 = 64;
+pub(crate) const BARRIER_CYCLES: u64 = 64;
 
 /// Effective fraction of banks usable by random indirect traffic (expected
 /// distinct banks hit by b uniform requests ≈ 1 − 1/e).
@@ -30,11 +37,12 @@ const MEM_LATENCY: u64 = 12;
 /// exhausted (fractional per-firing accounting leaves residues).
 const EPS: f64 = 1e-6;
 
-struct StreamState {
+#[derive(Debug, Clone)]
+pub(crate) struct StreamState {
     /// Elements still to deliver/drain across the whole region execution.
-    remaining: f64,
+    pub(crate) remaining: f64,
     /// Elements buffered in the port FIFO (fabric side).
-    fifo: f64,
+    pub(crate) fifo: f64,
     /// FIFO capacity in elements.
     fifo_cap: f64,
     /// Elements consumed (reads) / produced (writes) per firing.
@@ -47,9 +55,9 @@ struct StreamState {
     /// elapsed.
     active_at: u64,
     /// Memory this stream is bound to (None for forwarded / control-core).
-    mem: Option<NodeId>,
+    pub(crate) mem: Option<NodeId>,
     /// Whether the stream pays per-element (strided/indirect) or per-line.
-    elems_per_cycle: f64,
+    pub(crate) elems_per_cycle: f64,
     /// Read (memory→fabric) or write.
     is_read: bool,
     /// Served by the control core element-by-element.
@@ -65,14 +73,15 @@ struct StreamState {
     moved: f64,
 }
 
-struct RegionState {
-    firings_left: f64,
+#[derive(Debug, Clone)]
+pub(crate) struct RegionState {
+    pub(crate) firings_left: f64,
     next_fire: f64,
-    ii: f64,
-    rec_gate: f64,
+    pub(crate) ii: f64,
+    pub(crate) rec_gate: f64,
     fired: u64,
-    done_at: Option<u64>,
-    streams: Vec<StreamState>,
+    pub(crate) done_at: Option<u64>,
+    pub(crate) streams: Vec<StreamState>,
     /// The region cannot complete before the control core has executed its
     /// scalar fallback work (1 op/cycle).
     ctrl_floor: u64,
@@ -80,30 +89,70 @@ struct RegionState {
     tally: RegionTally,
 }
 
-/// Simulates one kernel version end to end, after checking that the
-/// schedule only references hardware that still exists in `adg`.
-///
-/// This is the fault-tolerant entry point: a schedule minted against a
-/// healthy graph and then run against a fault-degraded one (dead PE,
-/// severed link) fails with a typed [`SimError`](crate::SimError) instead
-/// of producing nonsense or panicking deep inside the engine.
-///
-/// # Errors
-///
-/// * [`SimError::NoControlCore`](crate::SimError::NoControlCore) — the ADG
-///   has no control core to issue stream commands;
-/// * [`SimError::MissingNode`](crate::SimError::MissingNode) — a placement
-///   references a node absent from the ADG (for example a dead PE);
-/// * [`SimError::MissingEdge`](crate::SimError::MissingEdge) — a route
-///   references an edge absent from the ADG (for example a severed link).
-pub fn try_simulate(
-    adg: &Adg,
-    kernel: &CompiledKernel,
-    schedule: &Schedule,
-    eval: &Evaluation,
-    config_path_len: u32,
-    cfg: &SimConfig,
-) -> Result<SimReport, crate::SimError> {
+/// Per-region fault effect for one upcoming cycle, resolved by the
+/// runtime layer ([`crate::runtime`]). The plain entry points pass an
+/// empty slice, which reads as [`Effect::Normal`] everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum Effect {
+    /// Healthy: the region fires under its normal gating.
+    #[default]
+    Normal,
+    /// A blocking fault (dead PE, severed link) is active: the region's
+    /// fabric cannot fire this cycle. Stream-side drain still proceeds.
+    Blocked,
+    /// A silent-corruption fault (stuck switch) is active: the region
+    /// fires normally but every firing produces poisoned results.
+    Poisoned,
+}
+
+/// What one [`EngineCore::tick`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Tick {
+    /// One cycle of the current pipeline group was executed.
+    Cycle,
+    /// The current group completed (or hit the cycle cap) and was
+    /// harvested; the next group will initialize on the next tick.
+    GroupDone,
+    /// All groups are complete; the run is over.
+    Finished,
+}
+
+/// Borrowed, schedule-derived context the engine steps against. Cheap to
+/// construct (all references), so the runtime layer can rebuild it after a
+/// repair changes the ADG/schedule without touching the [`EngineCore`].
+#[derive(Clone, Copy)]
+pub(crate) struct EngineCtx<'a> {
+    pub(crate) adg: &'a Adg,
+    pub(crate) kernel: &'a CompiledKernel,
+    pub(crate) eval: &'a Evaluation,
+    pub(crate) cfg: &'a SimConfig,
+    pub(crate) stream_mems: &'a BTreeMap<(usize, bool, usize), NodeId>,
+    pub(crate) ctrl: &'a CtrlSpec,
+    pub(crate) groups: &'a [Vec<usize>],
+}
+
+/// Partitions a kernel's regions into pipeline groups (consecutive
+/// regions linked by `pipelined_with_next` execute jointly).
+pub(crate) fn pipeline_groups(kernel: &CompiledKernel) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut current = vec![0usize];
+    for i in 0..kernel.regions.len().saturating_sub(1) {
+        if kernel.regions[i].pipelined_with_next {
+            current.push(i + 1);
+        } else {
+            groups.push(std::mem::take(&mut current));
+            current = vec![i + 1];
+        }
+    }
+    if !current.is_empty() {
+        groups.push(current);
+    }
+    groups
+}
+
+/// Checks that `schedule` only references hardware that exists in `adg`
+/// (and that the ADG can issue commands at all).
+pub(crate) fn validate_schedule(adg: &Adg, schedule: &Schedule) -> Result<(), crate::SimError> {
     if adg.control().is_none() {
         return Err(crate::SimError::NoControlCore);
     }
@@ -127,266 +176,180 @@ pub fn try_simulate(
             }
         }
     }
-    Ok(simulate(adg, kernel, schedule, eval, config_path_len, cfg))
+    Ok(())
 }
 
-/// Simulates one kernel version end to end.
-#[must_use]
-pub fn simulate(
-    adg: &Adg,
-    kernel: &CompiledKernel,
-    schedule: &Schedule,
-    eval: &Evaluation,
-    config_path_len: u32,
-    cfg: &SimConfig,
-) -> SimReport {
-    simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg).0
-}
-
-/// [`simulate`] plus full hardware counters, with telemetry events for
-/// the run emitted into `tel` (a span covering the engine, per-PE /
-/// per-stream counter instants, and a summary). The returned
-/// [`SimReport`] is **bit-identical** to what [`simulate`] produces for
-/// the same inputs — instrumentation never perturbs the simulation.
-#[must_use]
-pub fn simulate_instrumented(
-    adg: &Adg,
-    kernel: &CompiledKernel,
-    schedule: &Schedule,
-    eval: &Evaluation,
-    config_path_len: u32,
-    cfg: &SimConfig,
-    tel: &dsagen_telemetry::Telemetry,
-) -> (SimReport, SimTelemetry) {
-    let mut span = tel.span("phase", "simulate");
-    let (report, telemetry) = simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg);
-    span.arg("cycles", report.cycles);
-    span.arg("pes", telemetry.pes.len());
-    span.arg("streams", telemetry.streams.len());
-    span.end();
-    telemetry.emit(tel);
-    (report, telemetry)
-}
-
-/// Shared engine body: runs the cycle loop and harvests both the public
-/// report and the attributed hardware counters.
-///
-/// Kept out-of-line so [`simulate`] and [`simulate_instrumented`] execute
-/// the *same machine code* for the engine itself — the instrumented entry
-/// adds only the span/emit wrappers, which is what the telemetry_overhead
-/// gate measures.
-#[inline(never)]
-fn simulate_collect(
-    adg: &Adg,
-    kernel: &CompiledKernel,
-    schedule: &Schedule,
-    eval: &Evaluation,
-    config_path_len: u32,
-    cfg: &SimConfig,
-) -> (SimReport, SimTelemetry) {
-    let problem = Problem::new(adg, kernel);
-    let stream_mems = schedule.stream_memories(&problem);
-    let ctrl = control_spec(adg);
-
-    let config_cycles = u64::from(config_path_len);
-    let mut total_cycles = config_cycles; // configuration load
-    let mut region_cycles = vec![0u64; kernel.regions.len()];
-    let mut firings = vec![0u64; kernel.regions.len()];
-    let mut active_cycles = vec![0u64; kernel.regions.len()];
-    let mut stalls = StallBreakdown::default();
-    let mut tallies = vec![RegionTally::default(); kernel.regions.len()];
-    let mut stream_counters: Vec<StreamCounters> = Vec::new();
-
-    // Partition regions into pipeline groups.
-    let mut groups: Vec<Vec<usize>> = Vec::new();
-    let mut current = vec![0usize];
-    for i in 0..kernel.regions.len().saturating_sub(1) {
-        if kernel.regions[i].pipelined_with_next {
-            current.push(i + 1);
-        } else {
-            groups.push(std::mem::take(&mut current));
-            current = vec![i + 1];
-        }
-    }
-    if !current.is_empty() {
-        groups.push(current);
-    }
-
-    let mut group_cycles = Vec::with_capacity(groups.len());
-    for (gi, group) in groups.iter().enumerate() {
-        let cycles = simulate_group(
-            adg,
-            kernel,
-            eval,
-            &stream_mems,
-            &ctrl,
-            group,
-            cfg,
-            &mut region_cycles,
-            &mut firings,
-            &mut active_cycles,
-            &mut stalls,
-            &mut tallies,
-            &mut stream_counters,
-        );
-        group_cycles.push(cycles);
-        for &ri in group {
-            tallies[ri].group = gi;
-        }
-        total_cycles += cycles;
-        if gi + 1 < groups.len() {
-            total_cycles += BARRIER_CYCLES; // barrier + fence drain between groups
-        }
-    }
-
-    let total_insts: f64 = kernel
-        .regions
-        .iter()
-        .map(|r| r.dfg.inst_count() as f64 * r.instances)
-        .sum();
-    let report = SimReport {
-        cycles: total_cycles,
-        region_cycles,
-        firings,
-        active_cycles,
-        ipc: total_insts / total_cycles.max(1) as f64,
-        stalls,
-    };
-    let barrier_cycles = BARRIER_CYCLES * (groups.len() as u64).saturating_sub(1);
-    let telemetry = attribute(
-        adg,
-        schedule,
-        &problem,
-        &report,
-        &tallies,
-        stream_counters,
-        group_cycles,
-        config_cycles,
-        barrier_cycles,
-    );
-    (report, telemetry)
-}
-
-/// Joins the engine's raw tallies against the schedule's placement to
-/// produce per-PE counters that satisfy the conservation laws documented
-/// in [`crate::telemetry`].
-#[allow(clippy::too_many_arguments)]
-fn attribute(
-    adg: &Adg,
-    schedule: &Schedule,
-    problem: &Problem<'_>,
-    report: &SimReport,
-    tallies: &[RegionTally],
-    streams: Vec<StreamCounters>,
+/// The cloneable machine state of one simulation: everything that evolves
+/// cycle by cycle. Checkpointing the run is cloning this struct; resuming
+/// is continuing to [`EngineCore::tick`] a clone.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineCore {
+    /// Index of the pipeline group currently executing.
+    group_idx: usize,
+    /// Cycle within the current group (the group-local timeline).
+    cycle: u64,
+    /// Cycles accumulated before the current group: configuration load,
+    /// completed groups, and inter-group barriers.
+    total_before: u64,
+    /// Per-region state of the current group (None = initialize on the
+    /// next tick).
+    regions: Option<Vec<(usize, RegionState)>>,
+    region_cycles: Vec<u64>,
+    firings: Vec<u64>,
+    active_cycles: Vec<u64>,
+    stalls: StallBreakdown,
+    tallies: Vec<RegionTally>,
+    stream_counters: Vec<StreamCounters>,
     group_cycles: Vec<u64>,
     config_cycles: u64,
-    barrier_cycles: u64,
-) -> SimTelemetry {
-    let mut pes = Vec::new();
-    for (ri, tally) in tallies.iter().enumerate() {
-        // Distinct PE nodes hosting this region's operations.
-        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
-        if let Some(ops) = problem.op_entity.get(ri) {
-            for &entity in ops {
-                if entity == usize::MAX {
-                    continue; // constants are not placed
+    /// Poisoned firings per region (silent-corruption fault accounting;
+    /// rolls back with the rest of the state on restore).
+    pub(crate) poisoned: Vec<u64>,
+}
+
+impl EngineCore {
+    pub(crate) fn new(n_regions: usize, config_path_len: u32) -> Self {
+        let config_cycles = u64::from(config_path_len);
+        EngineCore {
+            group_idx: 0,
+            cycle: 0,
+            total_before: config_cycles,
+            regions: None,
+            region_cycles: vec![0; n_regions],
+            firings: vec![0; n_regions],
+            active_cycles: vec![0; n_regions],
+            stalls: StallBreakdown::default(),
+            tallies: vec![RegionTally::default(); n_regions],
+            stream_counters: Vec::new(),
+            group_cycles: Vec::new(),
+            config_cycles,
+            poisoned: vec![0; n_regions],
+        }
+    }
+
+    /// The global simulated cycle: config load + completed groups +
+    /// barriers + the current group-local cycle.
+    pub(crate) fn wall(&self) -> u64 {
+        self.total_before + self.cycle
+    }
+
+    /// Whether a region can still be affected by a fabric fault right now:
+    /// it is part of the currently-executing group, not done, and still has
+    /// firings to execute.
+    pub(crate) fn region_live(&self, ctx: EngineCtx<'_>, ri: usize) -> bool {
+        if self.group_idx >= ctx.groups.len() || !ctx.groups[self.group_idx].contains(&ri) {
+            return false;
+        }
+        match &self.regions {
+            // Group not initialized yet: it will run, so the region is live.
+            None => true,
+            Some(regions) => regions
+                .iter()
+                .find(|(i, _)| *i == ri)
+                .is_some_and(|(_, rs)| rs.done_at.is_none() && rs.firings_left > 0.0),
+        }
+    }
+
+    /// Advances the machine by (at most) one cycle.
+    pub(crate) fn tick(&mut self, ctx: EngineCtx<'_>, effects: &[Effect]) -> Tick {
+        if self.group_idx >= ctx.groups.len() {
+            return Tick::Finished;
+        }
+        if self.regions.is_none() {
+            self.init_group(ctx);
+        }
+        let all_done = self
+            .regions
+            .as_ref()
+            .is_some_and(|rs| rs.iter().all(|(_, r)| r.done_at.is_some()));
+        if all_done || self.cycle >= ctx.cfg.max_cycles {
+            self.finish_group(ctx);
+            return if self.group_idx >= ctx.groups.len() {
+                Tick::Finished
+            } else {
+                Tick::GroupDone
+            };
+        }
+        self.cycle += 1;
+        self.step_cycle(effects);
+        Tick::Cycle
+    }
+
+    /// Builds the per-region state of the current group and issues every
+    /// stream command (the control core issues them one at a time).
+    fn init_group(&mut self, ctx: EngineCtx<'_>) {
+        let group = &ctx.groups[self.group_idx];
+        let mut regions: Vec<(usize, RegionState)> = group
+            .iter()
+            .map(|&ri| {
+                (
+                    ri,
+                    region_state(
+                        ctx.adg,
+                        &ctx.kernel.regions[ri],
+                        ctx.eval.regions.get(ri),
+                        ri,
+                        ctx.stream_mems,
+                    ),
+                )
+            })
+            .collect();
+        let mut issue_cursor = 0u64;
+        for (_, rs) in regions.iter_mut() {
+            for s in rs.streams.iter_mut() {
+                issue_cursor += u64::from(ctx.ctrl.command_issue_cycles);
+                s.active_at = issue_cursor + MEM_LATENCY;
+            }
+        }
+        self.cycle = 0;
+        self.regions = Some(regions);
+    }
+
+    /// Harvests the finished (or capped) group and advances to the next.
+    fn finish_group(&mut self, ctx: EngineCtx<'_>) {
+        let gi = self.group_idx;
+        let cycle = self.cycle;
+        if let Some(regions) = self.regions.take() {
+            for (ri, rs) in &regions {
+                if rs.done_at.is_none() {
+                    self.region_cycles[*ri] = cycle;
                 }
-                if let Some(Some(node)) = schedule.placement.get(entity) {
-                    if matches!(adg.kind(*node), Ok(NodeKind::Pe(_))) {
-                        nodes.insert(*node);
-                    }
+            }
+            for (ri, rs) in regions {
+                self.tallies[ri] = rs.tally;
+                self.tallies[ri].group = gi;
+                for (si, s) in rs.streams.into_iter().enumerate() {
+                    self.stream_counters.push(StreamCounters {
+                        region: ri,
+                        index: si,
+                        is_read: s.is_read,
+                        ctrl_fed: s.ctrl_fed,
+                        issued: s.issued,
+                        stalled: s.stalled,
+                        elems: s.moved,
+                        fifo_highwater: s.highwater,
+                        fifo_cap: s.fifo_cap,
+                    });
                 }
             }
         }
-        let taxonomy = StallTaxonomy {
-            backpressure: tally.backpressure,
-            operand_wait: tally.operands,
-            memory: 0, // stream-level; see module docs
-            barrier: barrier_cycles,
-            config: config_cycles,
-            ii: tally.ii,
-            ctrl: 0, // stream-level; see module docs
+        self.group_cycles.push(cycle);
+        self.total_before += cycle;
+        if gi + 1 < ctx.groups.len() {
+            self.total_before += BARRIER_CYCLES; // barrier + fence drain
+        }
+        self.group_idx += 1;
+        self.cycle = 0;
+    }
+
+    /// One cycle of the current group: memory arbitration, control-core
+    /// delivery, then fabric firing — with per-region fault `effects`
+    /// overlaid (empty slice = fault-free).
+    fn step_cycle(&mut self, effects: &[Effect]) {
+        let cycle = self.cycle;
+        let Some(regions) = self.regions.as_mut() else {
+            return;
         };
-        let stalled = taxonomy.total();
-        let busy = tally.fired_cycles;
-        for node in nodes {
-            pes.push(PeCounters {
-                node,
-                region: ri,
-                cycles: report.cycles,
-                fired: report.firings.get(ri).copied().unwrap_or(0),
-                busy,
-                stalled,
-                idle: report.cycles.saturating_sub(busy + stalled),
-                stalls: taxonomy,
-            });
-        }
-    }
-    let taxonomy = StallTaxonomy {
-        backpressure: report.stalls.backpressure,
-        operand_wait: report.stalls.operands,
-        memory: report.stalls.memory,
-        barrier: barrier_cycles,
-        config: config_cycles,
-        ii: report.stalls.ii,
-        ctrl: report.stalls.ctrl,
-    };
-    SimTelemetry {
-        cycles: report.cycles,
-        config_cycles,
-        barrier_cycles,
-        region_group: tallies.iter().map(|t| t.group).collect(),
-        region_tallies: tallies.to_vec(),
-        group_cycles,
-        pes,
-        streams,
-        taxonomy,
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn simulate_group(
-    adg: &Adg,
-    kernel: &CompiledKernel,
-    eval: &Evaluation,
-    stream_mems: &BTreeMap<(usize, bool, usize), NodeId>,
-    ctrl: &CtrlSpec,
-    group: &[usize],
-    cfg: &SimConfig,
-    region_cycles: &mut [u64],
-    firings: &mut [u64],
-    active_cycles: &mut [u64],
-    stalls: &mut StallBreakdown,
-    tallies: &mut [RegionTally],
-    stream_counters: &mut Vec<StreamCounters>,
-) -> u64 {
-    // Build per-region state.
-    let mut regions: Vec<(usize, RegionState)> = group
-        .iter()
-        .map(|&ri| {
-            (
-                ri,
-                region_state(adg, &kernel.regions[ri], eval.regions.get(ri), ri, stream_mems),
-            )
-        })
-        .collect();
-
-    // The control core issues every stream command up front, one at a time.
-    let mut issue_cursor = 0u64;
-    for (_, rs) in regions.iter_mut() {
-        for s in rs.streams.iter_mut() {
-            issue_cursor += u64::from(ctrl.command_issue_cycles);
-            s.active_at = issue_cursor + MEM_LATENCY;
-        }
-    }
-
-    let mut cycle = 0u64;
-    while cycle < cfg.max_cycles {
-        let all_done = regions.iter().all(|(_, r)| r.done_at.is_some());
-        if all_done {
-            break;
-        }
-        cycle += 1;
 
         // ---- memory arbitration: each memory serves one line request (or
         // a bank-parallel gather batch) per cycle, round-robin over the
@@ -417,7 +380,7 @@ fn simulate_group(
                 };
                 let budget = mem_budget.entry(mem).or_insert(1.0);
                 if *budget <= 0.0 {
-                    stalls.memory += 1;
+                    self.stalls.memory += 1;
                     s.stalled += 1; // lost memory-port arbitration
                     continue;
                 }
@@ -452,7 +415,7 @@ fn simulate_group(
                     if amount > 0.0 {
                         deliver(s, amount);
                     } else {
-                        stalls.ctrl += 1;
+                        self.stalls.ctrl += 1;
                         s.stalled += 1; // control core could not feed
                     }
                 }
@@ -475,12 +438,19 @@ fn simulate_group(
                     .all(|s| s.is_read || (s.remaining <= EPS && s.fifo <= 0.01));
                 if drained && cycle >= rs.ctrl_floor {
                     rs.done_at = Some(cycle);
-                    region_cycles[*ri] = cycle;
+                    self.region_cycles[*ri] = cycle;
                 }
                 continue;
             }
+            let effect = effects.get(*ri).copied().unwrap_or(Effect::Normal);
+            if effect == Effect::Blocked {
+                // A blocking fault holds the fabric: no firing, no II
+                // progress. The progress watchdog in `runtime` observes
+                // exactly these cycles.
+                continue;
+            }
             if (cycle as f64) < rs.next_fire {
-                stalls.ii += 1;
+                self.stalls.ii += 1;
                 rs.tally.ii += 1;
                 continue;
             }
@@ -496,12 +466,12 @@ fn simulate_group(
                 .filter(|s| !s.is_read)
                 .all(|s| s.fifo_cap - s.fifo + 1e-9 >= s.per_firing);
             if !inputs_ready {
-                stalls.operands += 1;
+                self.stalls.operands += 1;
                 rs.tally.operands += 1;
                 continue;
             }
             if !outputs_ready {
-                stalls.backpressure += 1;
+                self.stalls.backpressure += 1;
                 rs.tally.backpressure += 1;
                 continue;
             }
@@ -520,36 +490,232 @@ fn simulate_group(
             rs.firings_left -= 1.0;
             rs.fired += 1;
             rs.tally.fired_cycles += 1;
-            firings[*ri] += 1;
-            active_cycles[*ri] += 1;
+            self.firings[*ri] += 1;
+            self.active_cycles[*ri] += 1;
             rs.next_fire = cycle as f64 + rs.ii.max(rs.rec_gate);
+            if effect == Effect::Poisoned {
+                // The firing happened, but a stuck switch delivered wrong
+                // operands: the produced results are corrupt. The residue
+                // checker in `runtime` observes this counter.
+                self.poisoned[*ri] += 1;
+            }
         }
     }
 
-    for (ri, rs) in &regions {
-        if rs.done_at.is_none() {
-            region_cycles[*ri] = cycle;
+    /// Rebinds the schedule-derived fields of the current group's state to
+    /// a new context (after a repair changed the ADG/schedule/eval):
+    /// memory bindings, service rates, initiation interval, and recurrence
+    /// gate are refreshed; all dynamic progress (remaining elements, FIFO
+    /// contents, completed firings, counters) is preserved.
+    pub(crate) fn rebind(&mut self, ctx: EngineCtx<'_>) {
+        let Some(regions) = self.regions.as_mut() else {
+            return;
+        };
+        for (ri, rs) in regions.iter_mut() {
+            let fresh = region_state(
+                ctx.adg,
+                &ctx.kernel.regions[*ri],
+                ctx.eval.regions.get(*ri),
+                *ri,
+                ctx.stream_mems,
+            );
+            rs.ii = fresh.ii;
+            rs.rec_gate = fresh.rec_gate;
+            for (s, fs) in rs.streams.iter_mut().zip(fresh.streams) {
+                s.mem = fs.mem;
+                s.elems_per_cycle = fs.elems_per_cycle;
+            }
         }
     }
 
-    // Harvest hardware counters.
-    for (ri, rs) in regions {
-        tallies[ri] = rs.tally;
-        for (si, s) in rs.streams.into_iter().enumerate() {
-            stream_counters.push(StreamCounters {
-                region: ri,
-                index: si,
-                is_read: s.is_read,
-                ctrl_fed: s.ctrl_fed,
-                issued: s.issued,
-                stalled: s.stalled,
-                elems: s.moved,
-                fifo_highwater: s.highwater,
-                fifo_cap: s.fifo_cap,
-            });
+    /// Total poisoned firings currently accounted (rolls back with the
+    /// core on restore).
+    pub(crate) fn poisoned_total(&self) -> u64 {
+        self.poisoned.iter().sum()
+    }
+
+    /// Completed firings per region so far.
+    pub(crate) fn firings(&self) -> &[u64] {
+        &self.firings
+    }
+
+    /// Assembles the public report from the accumulated state. Valid once
+    /// [`Tick::Finished`] has been returned (calling earlier yields a
+    /// partial view).
+    pub(crate) fn report(&self, kernel: &CompiledKernel) -> SimReport {
+        let total_cycles = self.wall();
+        let total_insts: f64 = kernel
+            .regions
+            .iter()
+            .map(|r| r.dfg.inst_count() as f64 * r.instances)
+            .sum();
+        SimReport {
+            cycles: total_cycles,
+            region_cycles: self.region_cycles.clone(),
+            firings: self.firings.clone(),
+            active_cycles: self.active_cycles.clone(),
+            ipc: total_insts / total_cycles.max(1) as f64,
+            stalls: self.stalls,
         }
     }
-    cycle
+
+    /// Joins the engine's raw tallies against the schedule's placement to
+    /// produce per-PE counters that satisfy the conservation laws
+    /// documented in [`crate::telemetry`].
+    pub(crate) fn telemetry(&self, ctx: EngineCtx<'_>, schedule: &Schedule) -> SimTelemetry {
+        let problem = Problem::new(ctx.adg, ctx.kernel);
+        let report = self.report(ctx.kernel);
+        let barrier_cycles = BARRIER_CYCLES * (ctx.groups.len() as u64).saturating_sub(1);
+        crate::telemetry::attribute(
+            ctx.adg,
+            schedule,
+            &problem,
+            &report,
+            &self.tallies,
+            self.stream_counters.clone(),
+            self.group_cycles.clone(),
+            self.config_cycles,
+            barrier_cycles,
+        )
+    }
+}
+
+/// Runs a pre-validated simulation to completion on a fresh core and
+/// returns the report plus hardware counters. This is the single code path
+/// behind every public entry point.
+fn run_to_completion(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> (SimReport, SimTelemetry) {
+    let problem = Problem::new(adg, kernel);
+    let stream_mems = schedule.stream_memories(&problem);
+    let ctrl = control_spec(adg);
+    let groups = pipeline_groups(kernel);
+    let ctx = EngineCtx {
+        adg,
+        kernel,
+        eval,
+        cfg,
+        stream_mems: &stream_mems,
+        ctrl: &ctrl,
+        groups: &groups,
+    };
+    let mut core = EngineCore::new(kernel.regions.len(), config_path_len);
+    while core.tick(ctx, &[]) != Tick::Finished {}
+    let report = core.report(kernel);
+    let telemetry = core.telemetry(ctx, schedule);
+    (report, telemetry)
+}
+
+/// Simulates one kernel version end to end, after checking that the
+/// schedule only references hardware that still exists in `adg`.
+///
+/// This is the fault-tolerant entry point: a schedule minted against a
+/// healthy graph and then run against a fault-degraded one (dead PE,
+/// severed link) fails with a typed [`SimError`](crate::SimError) instead
+/// of producing nonsense or panicking deep inside the engine.
+///
+/// # Errors
+///
+/// * [`SimError::NoControlCore`](crate::SimError::NoControlCore) — the ADG
+///   has no control core to issue stream commands;
+/// * [`SimError::MissingNode`](crate::SimError::MissingNode) — a placement
+///   references a node absent from the ADG (for example a dead PE);
+/// * [`SimError::MissingEdge`](crate::SimError::MissingEdge) — a route
+///   references an edge absent from the ADG (for example a severed link).
+pub fn try_simulate(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> Result<SimReport, crate::SimError> {
+    validate_schedule(adg, schedule)?;
+    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg).0)
+}
+
+/// [`try_simulate`] plus full hardware counters.
+///
+/// # Errors
+///
+/// Same contract as [`try_simulate`].
+pub fn try_simulate_collect(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> Result<(SimReport, SimTelemetry), crate::SimError> {
+    validate_schedule(adg, schedule)?;
+    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg))
+}
+
+/// Simulates one kernel version end to end.
+///
+/// Thin wrapper over the fallible core: identical code path to
+/// [`try_simulate`], but a schedule referencing missing hardware
+/// **panics** with the typed error's message instead of returning it.
+/// Prefer [`try_simulate`] anywhere the ADG may be degraded.
+///
+/// # Panics
+///
+/// If the schedule references hardware absent from `adg` (see
+/// [`try_simulate`] for the cases).
+#[must_use]
+pub fn simulate(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+) -> SimReport {
+    match try_simulate(adg, kernel, schedule, eval, config_path_len, cfg) {
+        Ok(report) => report,
+        Err(e) => panic!("simulate: {e}"),
+    }
+}
+
+/// [`simulate`] plus full hardware counters, with telemetry events for
+/// the run emitted into `tel` (a span covering the engine, per-PE /
+/// per-stream counter instants, and a summary). The returned
+/// [`SimReport`] is **bit-identical** to what [`simulate`] produces for
+/// the same inputs — instrumentation never perturbs the simulation.
+///
+/// Thin wrapper over the same fallible core as [`try_simulate`].
+///
+/// # Panics
+///
+/// If the schedule references hardware absent from `adg` (see
+/// [`try_simulate`]).
+#[must_use]
+pub fn simulate_instrumented(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+    tel: &dsagen_telemetry::Telemetry,
+) -> (SimReport, SimTelemetry) {
+    let mut span = tel.span("phase", "simulate");
+    let (report, telemetry) =
+        match try_simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg) {
+            Ok(pair) => pair,
+            Err(e) => panic!("simulate_instrumented: {e}"),
+        };
+    span.arg("cycles", report.cycles);
+    span.arg("pes", telemetry.pes.len());
+    span.arg("streams", telemetry.streams.len());
+    span.end();
+    telemetry.emit(tel);
+    (report, telemetry)
 }
 
 impl StreamState {
@@ -699,7 +865,7 @@ fn mem_coalesces(adg: &Adg, mem: NodeId) -> bool {
     matches!(adg.kind(mem), Ok(NodeKind::Memory(spec)) if spec.controllers.coalescing)
 }
 
-fn control_spec(adg: &Adg) -> CtrlSpec {
+pub(crate) fn control_spec(adg: &Adg) -> CtrlSpec {
     adg.control()
         .and_then(|c| match adg.kind(c) {
             Ok(NodeKind::Control(spec)) => Some(*spec),

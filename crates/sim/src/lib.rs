@@ -49,10 +49,19 @@
 
 mod cosim;
 mod engine;
+pub mod recovery;
+pub mod runtime;
 pub mod telemetry;
 
 pub use cosim::{simulate_functional, CoSimError, CoSimReport};
-pub use engine::{simulate, simulate_instrumented, try_simulate};
+pub use engine::{simulate, simulate_instrumented, try_simulate, try_simulate_collect};
+pub use recovery::{
+    run_with_recovery, RecoveryAction, RecoveryError, RecoveryEvent, RecoveryPolicy,
+    RecoveryReport,
+};
+pub use runtime::{
+    Detector, RuntimeConfig, RuntimeFault, RuntimeSim, SimCheckpoint, StepOutcome,
+};
 pub use telemetry::{PeCounters, SimTelemetry, StallTaxonomy, StreamCounters};
 
 /// Why a simulation could not run: the schedule references hardware the
@@ -86,6 +95,13 @@ pub enum SimError {
         /// Digest of the schedule handed to the simulator.
         got: u64,
     },
+    /// A [`dsagen_faults::FaultSchedule`] contains a fault kind that
+    /// cannot strike mid-execution (config-plane kinds corrupt the
+    /// programming stream, which is already loaded by cycle 0).
+    UnsupportedRuntimeFault {
+        /// The offending kind.
+        kind: dsagen_faults::FaultKind,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -103,6 +119,9 @@ impl std::fmt::Display for SimError {
                 "config verified against schedule digest {expected:#018x}, \
 but simulating digest {got:#018x}"
             ),
+            SimError::UnsupportedRuntimeFault { kind } => {
+                write!(f, "fault kind {kind} cannot strike mid-execution")
+            }
         }
     }
 }

@@ -1,0 +1,635 @@
+//! The recovery orchestrator: detection → checkpoint → online repair →
+//! verified reprogramming → resume.
+//!
+//! [`run_with_recovery`] drives a [`RuntimeSim`] to completion under a
+//! [`FaultSchedule`], intervening on every detected [`RuntimeFault`]:
+//!
+//! 1. **Checkpoint** — pick the rollback target
+//!    ([`RuntimeSim::rollback_target`]): the current state for blocking
+//!    faults (stalls corrupt nothing), the newest pre-corruption
+//!    checkpoint for residue-detected faults.
+//! 2. **Repair** — for permanent/intermittent faults the victim is
+//!    decommissioned from the ADG and the schedule repaired around it
+//!    with [`repair_with_escalation`]; transient faults skip this step
+//!    (the hardware is healthy again by resume).
+//! 3. **Verify** — the (repaired or original) configuration is proven by
+//!    [`verify_round_trip_timed`] before it is allowed near the fabric.
+//! 4. **Reprogram** — the verified bitstream is replayed through a
+//!    CRC-framed [`ProgrammingSession`] with retransmission/backoff; the
+//!    frames, backoff, and the regenerated configuration path are
+//!    charged as recovery overhead cycles.
+//! 5. **Resume** — the engine state is restored and (if repaired)
+//!    rebound to the new mapping; execution continues from the
+//!    checkpoint.
+//!
+//! The result is a [`RecoveryReport`]: the functional run report (equal
+//! to the fault-free run for recovered faults) plus one
+//! [`RecoveryEvent`] per intervention and the total overhead in cycles.
+//! Every failure mode is a typed [`RecoveryError`];
+//! [`RecoveryError::Unrecoverable`] means repair exhausted its
+//! escalation budget — nothing in this module panics.
+
+use std::fmt;
+
+use dsagen_adg::Adg;
+use dsagen_dfg::CompiledKernel;
+use dsagen_faults::{FaultLifetime, FaultSchedule, FaultTarget};
+use dsagen_hwgen::{
+    generate_config_paths, verify_round_trip_timed, ProgrammingSession, SessionConfig,
+    SessionError, SessionState,
+};
+use dsagen_scheduler::{
+    repair_with_escalation, Evaluation, Problem, RepairOutcome, Schedule, SchedulerConfig,
+};
+use dsagen_telemetry::Telemetry;
+
+use crate::runtime::{RuntimeConfig, RuntimeFault, RuntimeSim, StepOutcome};
+use crate::{SimConfig, SimError, SimReport};
+
+/// Tunables for the recovery flow.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Detection / checkpointing tunables.
+    pub rt: RuntimeConfig,
+    /// Scheduler configuration used for online repair.
+    pub scheduler: SchedulerConfig,
+    /// Retry/backoff tunables for reprogramming.
+    pub session: SessionConfig,
+    /// Maximum recoveries before [`RecoveryError::BudgetExhausted`].
+    pub max_recoveries: usize,
+    /// Escalation attempts handed to [`repair_with_escalation`].
+    pub repair_attempts: u32,
+    /// Parallel configuration paths regenerated after a repair.
+    pub config_paths: usize,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            rt: RuntimeConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            session: SessionConfig::default(),
+            max_recoveries: 8,
+            repair_attempts: 4,
+            config_paths: 4,
+        }
+    }
+}
+
+/// What the orchestrator did about one detected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryAction {
+    /// Transient fault: rolled back (if needed) and resumed on the same
+    /// mapping after a verified configuration scrub.
+    RollbackOnly,
+    /// Permanent/intermittent fault: victim decommissioned, schedule
+    /// repaired, fabric reprogrammed with the repaired configuration.
+    Repaired {
+        /// How much of the previous schedule survived.
+        outcome: RepairOutcome,
+        /// Scheduler iterations the repair took.
+        iterations: u32,
+    },
+}
+
+impl fmt::Display for RecoveryAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryAction::RollbackOnly => f.write_str("rollback-only"),
+            RecoveryAction::Repaired { outcome, iterations } => {
+                write!(f, "repaired ({outcome:?}, {iterations} iters)")
+            }
+        }
+    }
+}
+
+/// One complete recovery: detection, action, and its cycle costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// The detected fault.
+    pub fault: RuntimeFault,
+    /// What was done about it.
+    pub action: RecoveryAction,
+    /// Cycles from first observable effect to detection.
+    pub detection_latency: u64,
+    /// Work cycles re-executed after rollback (detected_at − checkpoint).
+    pub replayed_cycles: u64,
+    /// Reprogramming cost: frames sent + retransmission backoff + the
+    /// regenerated configuration-path load.
+    pub reprogram_cycles: u64,
+}
+
+impl RecoveryEvent {
+    /// Mean-time-to-repair contribution of this event: cycles the
+    /// accelerator was not making forward progress because of the fault.
+    #[must_use]
+    pub fn mttr_cycles(&self) -> u64 {
+        self.detection_latency + self.replayed_cycles + self.reprogram_cycles
+    }
+
+    /// Overhead charged against the run (replay + reprogram; detection
+    /// latency cycles are already part of the engine timeline).
+    #[must_use]
+    pub fn overhead_cycles(&self) -> u64 {
+        self.replayed_cycles + self.reprogram_cycles
+    }
+}
+
+/// Why a run could not be recovered. Every variant is a terminal,
+/// typed outcome — the orchestrator never panics.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RecoveryError {
+    /// The simulation could not start or resume (schedule/hardware
+    /// mismatch).
+    Sim(SimError),
+    /// Repair exhausted its escalation budget (or the victim could not
+    /// be decommissioned): the fabric cannot run this kernel any more.
+    Unrecoverable {
+        /// The fault that ended the run.
+        fault: Box<RuntimeFault>,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The repaired configuration failed round-trip verification.
+    Verify {
+        /// The fault being recovered when verification failed.
+        fault: Box<RuntimeFault>,
+        /// The verifier's message.
+        reason: String,
+    },
+    /// The programming session could not deliver the configuration
+    /// within its retry budget.
+    Reprogram {
+        /// The fault being recovered when delivery failed.
+        fault: Box<RuntimeFault>,
+        /// The session's terminal error.
+        error: SessionError,
+    },
+    /// More faults were detected than [`RecoveryPolicy::max_recoveries`]
+    /// allows.
+    BudgetExhausted {
+        /// Recoveries completed before the budget ran out.
+        recoveries: usize,
+    },
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::Sim(e) => write!(f, "simulation error: {e}"),
+            RecoveryError::Unrecoverable { fault, reason } => {
+                write!(f, "unrecoverable fault ({fault}): {reason}")
+            }
+            RecoveryError::Verify { fault, reason } => {
+                write!(f, "config verification failed recovering {fault}: {reason}")
+            }
+            RecoveryError::Reprogram { fault, error } => {
+                write!(f, "reprogramming failed recovering {fault}: {error}")
+            }
+            RecoveryError::BudgetExhausted { recoveries } => {
+                write!(f, "recovery budget exhausted after {recoveries} recoveries")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+impl From<SimError> for RecoveryError {
+    fn from(e: SimError) -> Self {
+        RecoveryError::Sim(e)
+    }
+}
+
+/// The outcome of a fully-recovered run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The functional simulation report. For recovered faults the
+    /// firings/outputs equal the fault-free run; `report.cycles` is the
+    /// *engine* timeline (excluding recovery overhead).
+    pub report: SimReport,
+    /// One entry per recovered fault, in detection order.
+    pub events: Vec<RecoveryEvent>,
+    /// Total recovery overhead (replayed work + reprogramming).
+    pub overhead_cycles: u64,
+    /// End-to-end cycles including recovery overhead.
+    pub total_cycles: u64,
+    /// Configuration-path length programmed at the end of the run (may
+    /// differ from the initial one after repairs).
+    pub config_path_len: u32,
+}
+
+impl RecoveryReport {
+    /// Number of recoveries performed.
+    #[must_use]
+    pub fn recoveries(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Mean time to repair across all recoveries, in cycles.
+    #[must_use]
+    pub fn mttr_cycles(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        self.events.iter().map(|e| e.mttr_cycles() as f64).sum::<f64>()
+            / self.events.len() as f64
+    }
+
+    /// Relative overhead versus a fault-free run of `fault_free_cycles`.
+    #[must_use]
+    pub fn overhead_vs(&self, fault_free_cycles: u64) -> f64 {
+        if fault_free_cycles == 0 {
+            return 0.0;
+        }
+        (self.total_cycles as f64 / fault_free_cycles as f64) - 1.0
+    }
+}
+
+/// Runs `schedule` on `adg` under `faults`, recovering every detected
+/// fault per `policy`. Emits `recovery/*` telemetry spans/events into
+/// `tel` (no-ops when disabled).
+///
+/// # Errors
+///
+/// A typed [`RecoveryError`] for every terminal failure mode; see the
+/// module docs for the ladder. Never panics.
+#[allow(clippy::too_many_arguments)] // mirrors `try_simulate` plus the fault plane
+pub fn run_with_recovery(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+    faults: &FaultSchedule,
+    policy: &RecoveryPolicy,
+    tel: &Telemetry,
+) -> Result<RecoveryReport, RecoveryError> {
+    let mut span = tel.span("recovery", "run_with_recovery");
+    span.arg("faults", faults.faults.len() as u64);
+
+    let mut sim = RuntimeSim::new(
+        adg,
+        kernel,
+        schedule,
+        eval,
+        config_path_len,
+        *cfg,
+        policy.rt,
+        faults,
+    )?;
+    // The orchestrator's evolving view of the (possibly degraded,
+    // possibly repaired) hardware.
+    let mut adg_now = adg.clone();
+    let mut cpl_now = config_path_len;
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut overhead: u64 = 0;
+
+    loop {
+        match sim.run_until_event() {
+            StepOutcome::Finished => break,
+            StepOutcome::Detected(fault) => {
+                let fault = *fault;
+                if events.len() >= policy.max_recoveries {
+                    span.arg("outcome", "budget-exhausted");
+                    span.end();
+                    return Err(RecoveryError::BudgetExhausted {
+                        recoveries: events.len(),
+                    });
+                }
+                tel.emit(|| {
+                    dsagen_telemetry::EventData::new("recovery", "detect")
+                        .arg("kind", fault.kind.to_string())
+                        .arg("victim", fault.victim.to_string())
+                        .arg("detector", fault.detector.to_string())
+                        .arg("detected_at", fault.detected_at)
+                        .arg("latency", fault.detection_latency())
+                });
+
+                // 1. Checkpoint: pick the rollback target before anything
+                //    mutates the simulation.
+                let ckpt = sim.rollback_target(&fault);
+                let replayed = fault.detected_at.saturating_sub(ckpt.wall());
+
+                // 2. Repair (permanent/intermittent only).
+                let needs_repair =
+                    !matches!(fault.lifetime, FaultLifetime::Transient { .. });
+                let (action, sched_now, eval_now) = if needs_repair {
+                    let mut rspan = tel.span("recovery", "repair");
+                    decommission(&mut adg_now, &fault)?;
+                    let res = repair_with_escalation(
+                        &adg_now,
+                        kernel,
+                        sim.schedule(),
+                        &policy.scheduler,
+                        policy.repair_attempts,
+                    );
+                    rspan.arg("iterations", u64::from(res.iterations));
+                    rspan.arg("legal", res.is_legal());
+                    rspan.end();
+                    if !res.is_legal() {
+                        span.arg("outcome", "unrecoverable");
+                        span.end();
+                        return Err(RecoveryError::Unrecoverable {
+                            fault: Box::new(fault),
+                            reason: format!(
+                                "repair exhausted escalation after {} iterations \
+(outcome {:?})",
+                                res.iterations, res.outcome
+                            ),
+                        });
+                    }
+                    (
+                        RecoveryAction::Repaired {
+                            outcome: res.outcome,
+                            iterations: res.iterations,
+                        },
+                        Some(res.schedule),
+                        Some(res.eval),
+                    )
+                } else {
+                    (RecoveryAction::RollbackOnly, None, None)
+                };
+
+                // 3. Verify the configuration that will be (re)loaded.
+                let target_schedule = sched_now.as_ref().unwrap_or_else(|| sim.schedule());
+                let target_eval = eval_now.as_ref().unwrap_or_else(|| sim.eval());
+                let problem = Problem::new(&adg_now, kernel);
+                let verified =
+                    match verify_round_trip_timed(&problem, target_schedule, target_eval) {
+                        Ok(v) => v,
+                        Err(e) => {
+                            span.arg("outcome", "verify-failed");
+                            span.end();
+                            return Err(RecoveryError::Verify {
+                                fault: Box::new(fault),
+                                reason: e.to_string(),
+                            });
+                        }
+                    };
+
+                // 4. Reprogram through the CRC-framed session.
+                let mut session = ProgrammingSession::new(verified.bitstream(), policy.session);
+                let srep = session.program(|_, frames| frames.to_vec());
+                if srep.state != SessionState::Verified {
+                    span.arg("outcome", "reprogram-failed");
+                    span.end();
+                    return Err(RecoveryError::Reprogram {
+                        fault: Box::new(fault),
+                        error: srep
+                            .error
+                            .unwrap_or(SessionError::Undelivered { missing_words: 0 }),
+                    });
+                }
+                if needs_repair {
+                    cpl_now = generate_config_paths(
+                        &adg_now,
+                        policy.config_paths.max(1),
+                        policy.scheduler.seed,
+                    )
+                    .longest() as u32;
+                }
+                let reprogram_cycles =
+                    srep.frames_sent + srep.backoff_cycles + u64::from(cpl_now);
+
+                // 5. Resume from the checkpoint on the (new) mapping.
+                sim.restore(&ckpt);
+                if let (Some(s), Some(e)) = (sched_now, eval_now) {
+                    sim.reprogram(adg_now.clone(), s, e, cpl_now)?;
+                }
+
+                let event = RecoveryEvent {
+                    detection_latency: fault.detection_latency(),
+                    fault,
+                    action,
+                    replayed_cycles: replayed,
+                    reprogram_cycles,
+                };
+                overhead += event.overhead_cycles();
+                tel.emit(|| {
+                    dsagen_telemetry::EventData::new("recovery", "resume")
+                        .arg("action", event.action.to_string())
+                        .arg("replayed_cycles", event.replayed_cycles)
+                        .arg("reprogram_cycles", event.reprogram_cycles)
+                        .arg("mttr_cycles", event.mttr_cycles())
+                });
+                events.push(event);
+            }
+        }
+    }
+
+    let report = sim.report();
+    let total_cycles = report.cycles + overhead;
+    span.arg("recoveries", events.len() as u64);
+    span.arg("overhead_cycles", overhead);
+    span.arg("total_cycles", total_cycles);
+    span.end();
+    Ok(RecoveryReport {
+        report,
+        events,
+        overhead_cycles: overhead,
+        total_cycles,
+        config_path_len: cpl_now,
+    })
+}
+
+/// Removes the fault's victim from the hardware graph so repair cannot
+/// map anything onto it again.
+fn decommission(adg: &mut Adg, fault: &RuntimeFault) -> Result<(), RecoveryError> {
+    let res = match fault.victim {
+        FaultTarget::Node(n) => adg.remove_node(n).map(|_| ()).map_err(|e| e.to_string()),
+        FaultTarget::Edge(e) => adg.remove_edge(e).map(|_| ()).map_err(|e| e.to_string()),
+        FaultTarget::Word(_) => Err("fault has no hardware victim".to_string()),
+    };
+    res.map_err(|reason| RecoveryError::Unrecoverable {
+        fault: Box::new(fault.clone()),
+        reason: format!("cannot decommission victim: {reason}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use dsagen_adg::presets;
+    use dsagen_dfg::{
+        compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
+    };
+    use dsagen_faults::FaultKind;
+    use dsagen_scheduler::{schedule, Evaluation};
+
+    use super::*;
+    use crate::try_simulate;
+
+    fn dot(n: u64) -> dsagen_dfg::Kernel {
+        let mut k = KernelBuilder::new("dot");
+        let a = k.array("a", dsagen_adg::BitWidth::B64, n, MemClass::MainMemory);
+        let b = k.array("b", dsagen_adg::BitWidth::B64, n, MemClass::MainMemory);
+        let c = k.array("c", dsagen_adg::BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(n), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let p = r.bin(dsagen_adg::Opcode::Mul, va, vb);
+        let acc = r.reduce(dsagen_adg::Opcode::Add, p, i);
+        r.store(c, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        k.build().unwrap()
+    }
+
+    fn fixture(n: u64) -> (Adg, CompiledKernel, Schedule, Evaluation) {
+        let adg = presets::softbrain();
+        let ck = compile_kernel(&dot(n), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &dsagen_scheduler::SchedulerConfig::default());
+        assert!(s.is_legal(), "schedule: {:?}", s.eval);
+        (adg, ck, s.schedule, s.eval)
+    }
+
+    fn recover(
+        fixture: &(Adg, CompiledKernel, Schedule, Evaluation),
+        faults: &FaultSchedule,
+        policy: &RecoveryPolicy,
+        tel: &Telemetry,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let (adg, ck, sch, ev) = fixture;
+        run_with_recovery(
+            adg,
+            ck,
+            sch,
+            ev,
+            0,
+            &SimConfig::default(),
+            faults,
+            policy,
+            tel,
+        )
+    }
+
+    #[test]
+    fn fault_free_run_has_no_events_and_no_overhead() {
+        let fx = fixture(1024);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        let rep = recover(
+            &fx,
+            &FaultSchedule::new(1),
+            &RecoveryPolicy::default(),
+            &Telemetry::disabled(),
+        )
+        .unwrap();
+        assert!(rep.events.is_empty());
+        assert_eq!(rep.overhead_cycles, 0);
+        assert_eq!(rep.report, plain);
+        assert_eq!(rep.total_cycles, plain.cycles);
+        assert_eq!(rep.mttr_cycles(), 0.0);
+        assert_eq!(rep.overhead_vs(plain.cycles), 0.0);
+    }
+
+    #[test]
+    fn transient_blocking_fault_recovers_with_rollback_only() {
+        let fx = fixture(4096);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        // Long enough to trip the 64-cycle watchdog; transient, so recovery
+        // is rollback-only (no repair).
+        let faults = FaultSchedule::new(7).with(
+            200,
+            dsagen_faults::FaultLifetime::Transient { duration: 2048 },
+            FaultKind::DeadPe,
+        );
+        let tel = Telemetry::in_memory();
+        let rep = recover(&fx, &faults, &RecoveryPolicy::default(), &tel).unwrap();
+        assert_eq!(rep.events.len(), 1);
+        let ev = &rep.events[0];
+        assert!(matches!(ev.action, RecoveryAction::RollbackOnly), "{}", ev.action);
+        assert!(ev.detection_latency <= RecoveryPolicy::default().rt.watchdog_bound);
+        assert!(ev.reprogram_cycles > 0, "config replay must be charged");
+        assert!(ev.mttr_cycles() > 0);
+        // Functional outputs equal the fault-free run.
+        assert_eq!(rep.report.firings, plain.firings);
+        assert!(rep.total_cycles > plain.cycles, "overhead must be visible");
+        assert!(rep.overhead_vs(plain.cycles) > 0.0);
+        // Telemetry: detection and resume events under recovery/*.
+        let events = tel.events();
+        assert!(events.iter().any(|e| e.cat == "recovery" && e.name == "detect"));
+        assert!(events.iter().any(|e| e.cat == "recovery" && e.name == "resume"));
+        assert!(events.iter().any(|e| e.cat == "recovery" && e.name == "run_with_recovery"));
+    }
+
+    #[test]
+    fn permanent_fault_repairs_or_fails_typed() {
+        let fx = fixture(4096);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        let faults = FaultSchedule::new(11).with(
+            200,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::DeadPe,
+        );
+        match recover(&fx, &faults, &RecoveryPolicy::default(), &Telemetry::disabled()) {
+            Ok(rep) => {
+                assert_eq!(rep.events.len(), 1);
+                assert!(
+                    matches!(rep.events[0].action, RecoveryAction::Repaired { .. }),
+                    "permanent faults must be repaired, got {}",
+                    rep.events[0].action
+                );
+                assert_eq!(rep.report.firings, plain.firings, "recovered outputs differ");
+            }
+            Err(e) => {
+                // Degrading typed is acceptable; panicking is not.
+                assert!(
+                    matches!(
+                        e,
+                        RecoveryError::Unrecoverable { .. }
+                            | RecoveryError::Verify { .. }
+                            | RecoveryError::Reprogram { .. }
+                    ),
+                    "unexpected error {e}"
+                );
+                assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn poison_fault_rolls_back_to_a_clean_timeline() {
+        let fx = fixture(4096);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        let faults = FaultSchedule::new(13).with(
+            300,
+            dsagen_faults::FaultLifetime::Transient { duration: 100 },
+            FaultKind::StuckSwitch,
+        );
+        let rep =
+            recover(&fx, &faults, &RecoveryPolicy::default(), &Telemetry::disabled()).unwrap();
+        assert_eq!(rep.events.len(), 1);
+        let ev = &rep.events[0];
+        assert_eq!(ev.fault.detector, crate::runtime::Detector::Residue);
+        // Rollback discards every poisoned firing and replays clean, so the
+        // functional report is *exactly* the fault-free one.
+        assert_eq!(rep.report, plain);
+        assert!(ev.replayed_cycles > 0, "corruption forces replay");
+    }
+
+    #[test]
+    fn zero_recovery_budget_fails_typed() {
+        let fx = fixture(4096);
+        let faults = FaultSchedule::new(11).with(
+            200,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::DeadPe,
+        );
+        let policy = RecoveryPolicy {
+            max_recoveries: 0,
+            ..RecoveryPolicy::default()
+        };
+        let err =
+            recover(&fx, &faults, &policy, &Telemetry::disabled()).unwrap_err();
+        assert!(
+            matches!(err, RecoveryError::BudgetExhausted { recoveries: 0 }),
+            "unexpected error {err}"
+        );
+    }
+}

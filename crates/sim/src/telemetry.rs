@@ -29,10 +29,14 @@
 //! per-PE taxonomies — the PE-visible symptom of a slow memory is
 //! `operand_wait`.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fmt::Write as _;
 
-use dsagen_adg::NodeId;
+use dsagen_adg::{Adg, NodeId, NodeKind};
+use dsagen_scheduler::{Problem, Schedule};
+
+use crate::SimReport;
 
 /// Where stall cycles went, by cause. All fields are cycle counts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -206,6 +210,82 @@ pub struct RegionTally {
     pub fired_cycles: u64,
     /// Pipeline group this region belongs to.
     pub group: usize,
+}
+
+/// Attributes raw engine tallies onto PEs and streams, producing the
+/// public [`SimTelemetry`] view. Called by the engine after a run (or
+/// mid-run for checkpoint snapshots); pure function of its inputs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn attribute(
+    adg: &Adg,
+    schedule: &Schedule,
+    problem: &Problem<'_>,
+    report: &SimReport,
+    tallies: &[RegionTally],
+    streams: Vec<StreamCounters>,
+    group_cycles: Vec<u64>,
+    config_cycles: u64,
+    barrier_cycles: u64,
+) -> SimTelemetry {
+    let mut pes = Vec::new();
+    for (ri, tally) in tallies.iter().enumerate() {
+        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+        if let Some(ops) = problem.op_entity.get(ri) {
+            for &entity in ops {
+                if entity == usize::MAX {
+                    continue;
+                }
+                if let Some(Some(node)) = schedule.placement.get(entity) {
+                    if matches!(adg.kind(*node), Ok(NodeKind::Pe(_))) {
+                        nodes.insert(*node);
+                    }
+                }
+            }
+        }
+        let taxonomy = StallTaxonomy {
+            backpressure: tally.backpressure,
+            operand_wait: tally.operands,
+            memory: 0,
+            barrier: barrier_cycles,
+            config: config_cycles,
+            ii: tally.ii,
+            ctrl: 0,
+        };
+        let stalled = taxonomy.total();
+        let busy = tally.fired_cycles;
+        for node in nodes {
+            pes.push(PeCounters {
+                node,
+                region: ri,
+                cycles: report.cycles,
+                fired: report.firings.get(ri).copied().unwrap_or(0),
+                busy,
+                stalled,
+                idle: report.cycles.saturating_sub(busy + stalled),
+                stalls: taxonomy,
+            });
+        }
+    }
+    let taxonomy = StallTaxonomy {
+        backpressure: report.stalls.backpressure,
+        operand_wait: report.stalls.operands,
+        memory: report.stalls.memory,
+        barrier: barrier_cycles,
+        config: config_cycles,
+        ii: report.stalls.ii,
+        ctrl: report.stalls.ctrl,
+    };
+    SimTelemetry {
+        cycles: report.cycles,
+        config_cycles,
+        barrier_cycles,
+        region_group: tallies.iter().map(|t| t.group).collect(),
+        region_tallies: tallies.to_vec(),
+        group_cycles,
+        pes,
+        streams,
+        taxonomy,
+    }
 }
 
 /// Everything the cycle engine measured in one simulation, attributed.

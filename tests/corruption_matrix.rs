@@ -14,7 +14,20 @@
 //!   e.g. reordering of self-sequenced frames) or fails *typed*: the
 //!   report carries a [`SessionError`] and names the unreachable nodes.
 //!
-//! The seed set is overridable via `DSAGAN_CORRUPTION_SEED` — see
+//! The second half of the file is the **runtime-fault recovery matrix**:
+//! mid-execution fabric faults (dead PE arriving while streams are in
+//! flight) crossed with every simulating preset and ≥5 workloads, driven
+//! through the full `detect → checkpoint rollback → repair → verified
+//! reprogramming → resume` pipeline. Contract:
+//!
+//! - **Transient faults fully recover.** Detected within the watchdog
+//!   bound, rolled back, and the final firings equal the fault-free run.
+//! - **Permanent faults recover or fail typed.** Either the victim is
+//!   decommissioned and the schedule repaired + reprogrammed (firings
+//!   again equal fault-free), or a typed [`dsagen::RecoveryError`] names
+//!   the reason. Never a panic.
+//!
+//! The seed set is overridable via `DSAGEN_CORRUPTION_SEED` — see
 //! [`seeds`] — so CI can shard the matrix across jobs.
 
 use std::error::Error;
@@ -43,7 +56,26 @@ fn seeds() -> Vec<u64> {
 }
 
 fn workloads() -> Vec<(&'static str, Kernel)> {
-    vec![("mvt", polybench::mvt()), ("mm", machsuite::mm())]
+    vec![
+        ("mvt", polybench::mvt()),
+        ("mm", machsuite::mm()),
+        ("atax", polybench::atax()),
+        ("bicg", polybench::bicg()),
+        ("spmv-crs", machsuite::spmv_crs()),
+    ]
+}
+
+/// Workloads for the runtime-fault matrix: same breadth (≥5 kernels),
+/// but the large gemm is shrunk so the cycle-accurate replay stays fast
+/// in debug builds.
+fn rt_workloads() -> Vec<(&'static str, Kernel)> {
+    vec![
+        ("mvt", polybench::mvt()),
+        ("mm16", machsuite::gemm_kernel("mm16", 16)),
+        ("atax", polybench::atax()),
+        ("bicg", polybench::bicg()),
+        ("spmv-crs", machsuite::spmv_crs()),
+    ]
 }
 
 /// Encodes one scheduled workload to its configuration bitstream.
@@ -204,6 +236,172 @@ fn zero_retry_budget_fails_loud_not_wrong() -> TestResult {
     assert!(
         !report.unreachable_nodes.is_empty(),
         "{name}: the starved node must be reported"
+    );
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Runtime-fault recovery matrix: mid-execution fabric faults across every
+// simulating preset × ≥5 workloads × the seed set.
+// ---------------------------------------------------------------------------
+
+use dsagen::adg::Adg;
+use dsagen::faults::{FaultLifetime, FaultSchedule};
+use dsagen::sim::{try_simulate, RecoveryAction, RecoveryPolicy, SimConfig};
+use dsagen::{compile, recover, CompileOptions, Compiled};
+
+fn rt_presets() -> Vec<(&'static str, Adg)> {
+    vec![
+        ("softbrain", presets::softbrain()),
+        ("spu", presets::spu()),
+        ("revel", presets::revel()),
+    ]
+}
+
+/// Compiles one runtime-matrix cell; unroll is capped to keep the
+/// cycle-accurate replay affordable in debug builds.
+fn rt_compile(adg: &Adg, kernel: &Kernel, seed: u64) -> Result<Compiled, Box<dyn Error>> {
+    let opts = CompileOptions {
+        max_unroll: 2,
+        scheduler: SchedulerConfig {
+            seed,
+            ..SchedulerConfig::default()
+        },
+        ..CompileOptions::default()
+    };
+    Ok(compile(adg, kernel, &opts)?)
+}
+
+/// A transient dead PE arriving one third into the run is detected by the
+/// watchdog within its bound, rolled back, and the run completes with
+/// firings identical to the fault-free baseline — on every preset, every
+/// workload, every seed.
+#[test]
+fn transient_runtime_pe_fault_recovers_on_every_preset() -> TestResult {
+    let policy = RecoveryPolicy::default();
+    let tel = dsagen::telemetry::Telemetry::disabled();
+    for seed in seeds() {
+        for (pname, adg) in rt_presets() {
+            for (kname, kernel) in rt_workloads() {
+                let compiled = rt_compile(&adg, &kernel, seed)?;
+                let cfg = SimConfig::default();
+                let plain = try_simulate(
+                    &adg,
+                    &compiled.version,
+                    &compiled.schedule,
+                    &compiled.eval,
+                    compiled.config_path_len,
+                    &cfg,
+                )?;
+                let arrival = (plain.cycles / 3).max(1);
+                // Outage longer than the watchdog bound => detection is
+                // guaranteed; the detected fault is consumed, so the
+                // rolled-back replay runs clean.
+                let faults = FaultSchedule::new(seed).with(
+                    arrival,
+                    FaultLifetime::Transient { duration: 1024 },
+                    FaultKind::DeadPe,
+                );
+                let rep = recover(&adg, &compiled, &cfg, &faults, &policy, &tel).map_err(
+                    |e| format!("{pname}/{kname} seed={seed}: transient must recover: {e}"),
+                )?;
+                assert!(
+                    !rep.events.is_empty(),
+                    "{pname}/{kname} seed={seed}: the fault must be detected"
+                );
+                for ev in &rep.events {
+                    assert!(
+                        ev.detection_latency <= policy.rt.watchdog_bound,
+                        "{pname}/{kname} seed={seed}: detection latency {} over the \
+watchdog bound {}",
+                        ev.detection_latency,
+                        policy.rt.watchdog_bound
+                    );
+                }
+                assert_eq!(
+                    rep.report.firings, plain.firings,
+                    "{pname}/{kname} seed={seed}: recovered firings must equal fault-free"
+                );
+                assert!(
+                    rep.total_cycles >= plain.cycles,
+                    "{pname}/{kname} seed={seed}: recovery cannot be faster than fault-free"
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A permanent dead PE either recovers — victim decommissioned, schedule
+/// repaired on the degraded fabric, configuration re-verified and
+/// reprogrammed, firings equal to fault-free — or fails *typed* with a
+/// rendering [`dsagen::RecoveryError`]. Never a panic, on any cell of the
+/// matrix.
+#[test]
+fn permanent_runtime_pe_fault_repairs_or_fails_typed() -> TestResult {
+    let policy = RecoveryPolicy::default();
+    let tel = dsagen::telemetry::Telemetry::disabled();
+    let mut recovered = 0usize;
+    let mut cells = 0usize;
+    for seed in seeds() {
+        for (pname, adg) in rt_presets() {
+            for (kname, kernel) in rt_workloads() {
+                let compiled = rt_compile(&adg, &kernel, seed)?;
+                let cfg = SimConfig::default();
+                let plain = try_simulate(
+                    &adg,
+                    &compiled.version,
+                    &compiled.schedule,
+                    &compiled.eval,
+                    compiled.config_path_len,
+                    &cfg,
+                )?;
+                let arrival = (plain.cycles / 3).max(1);
+                let faults = FaultSchedule::new(seed).with(
+                    arrival,
+                    FaultLifetime::Permanent,
+                    FaultKind::DeadPe,
+                );
+                cells += 1;
+                match recover(&adg, &compiled, &cfg, &faults, &policy, &tel) {
+                    Ok(rep) => {
+                        recovered += 1;
+                        assert_eq!(
+                            rep.report.firings, plain.firings,
+                            "{pname}/{kname} seed={seed}: repaired run must match fault-free"
+                        );
+                        // A permanent victim cannot be resumed onto: the
+                        // recovery must have gone through the repair +
+                        // reprogram path (or the fault resolved to nothing
+                        // on this schedule, in which case no event fired).
+                        for ev in &rep.events {
+                            assert!(
+                                matches!(ev.action, RecoveryAction::Repaired { .. }),
+                                "{pname}/{kname} seed={seed}: permanent fault recovered \
+without repair: {:?}",
+                                ev.action
+                            );
+                            assert!(ev.reprogram_cycles > 0);
+                        }
+                    }
+                    Err(e) => {
+                        // Typed, rendering failure — the accepted outcome
+                        // when the degraded fabric can no longer host the
+                        // kernel.
+                        assert!(
+                            !e.to_string().is_empty(),
+                            "{pname}/{kname} seed={seed}: error must render"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // The matrix must not degenerate into all-failures: the repair path
+    // has to demonstrably work on a majority of cells.
+    assert!(
+        recovered * 2 > cells,
+        "only {recovered}/{cells} permanent faults recovered"
     );
     Ok(())
 }

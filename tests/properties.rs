@@ -506,3 +506,74 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    // Each case compiles, schedules, and simulates three timelines; keep
+    // the count modest (3 presets × several seeds is still wide coverage).
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// Stream checkpointing is invisible: with no faults scheduled,
+    /// pausing a run at an arbitrary wall cycle, snapshotting it with
+    /// `checkpoint()`, and resuming the *snapshot* produces a final
+    /// report bit-identical to (a) the paused original run continuing
+    /// and (b) a plain uninterrupted `try_simulate` of the same
+    /// configuration — for random scheduling seeds across three presets.
+    #[test]
+    fn checkpoint_resume_is_identity_without_faults(
+        seed in any::<u64>(),
+        which in 0usize..3,
+        pause_num in 1u64..8,
+    ) {
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        use dsagen::faults::FaultSchedule;
+        use dsagen::scheduler::{schedule, SchedulerConfig};
+        use dsagen::sim::{try_simulate, RuntimeConfig, RuntimeSim, SimConfig, StepOutcome};
+
+        let all = [presets::softbrain(), presets::spu(), presets::revel()];
+        let adg = &all[which];
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let cfg = SchedulerConfig { max_iters: 60, seed, ..SchedulerConfig::default() };
+        let s = schedule(adg, &ck, &cfg);
+        if !s.is_legal() {
+            // An occasional unlucky stochastic seed is not this property's
+            // concern; legality is covered elsewhere.
+            return Ok(());
+        }
+
+        let sim_cfg = SimConfig::default();
+        let plain = try_simulate(adg, &ck, &s.schedule, &s.eval, 4, &sim_cfg)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+
+        let fresh = || {
+            RuntimeSim::new(
+                adg, &ck, &s.schedule, &s.eval, 4,
+                sim_cfg, RuntimeConfig::default(), &FaultSchedule::new(0),
+            )
+        };
+        // Pause somewhere strictly inside the run (1/8 .. 7/8 of it).
+        let pause_at = (plain.cycles * pause_num / 8).max(1);
+        let mut rt = fresh().map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let early = rt.run_for(pause_at);
+        let ckpt = rt.checkpoint();
+        prop_assert_eq!(ckpt.wall(), rt.wall());
+
+        // Timeline A: the paused original continues to completion.
+        if early.is_none() {
+            prop_assert_eq!(rt.run_until_event(), StepOutcome::Finished);
+        }
+        let from_pause = rt.report();
+
+        // Timeline B: a *different* instance resumes from the snapshot.
+        let mut resumed = fresh().map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        resumed.restore(&ckpt);
+        prop_assert_eq!(resumed.wall(), ckpt.wall());
+        prop_assert_eq!(resumed.run_until_event(), StepOutcome::Finished);
+        let from_snapshot = resumed.report();
+
+        // All three timelines agree bit-for-bit.
+        prop_assert_eq!(&from_pause, &plain);
+        prop_assert_eq!(&from_snapshot, &plain);
+    }
+}
