@@ -42,7 +42,9 @@ fn bench_simulate(c: &mut Criterion) {
         let res = schedule(&adg, &ck, &SchedulerConfig::default());
         assert!(res.is_legal(), "{name}: {:?}", res.eval);
         c.bench_function(&format!("simulate/{name}"), |b| {
-            b.iter(|| simulate(&adg, &ck, &res.schedule, &res.eval, 0, &SimConfig::default()))
+            b.iter(|| {
+                simulate(&adg, &ck, &res.schedule, &res.eval, 0, &SimConfig::default()).unwrap()
+            })
         });
     }
 }

@@ -36,7 +36,11 @@ fn run_without_windows(adg: &dsagen_adg::Adg, kernel: &dsagen_dfg::Kernel) -> Op
         if !result.is_legal() {
             continue;
         }
-        let report = simulate(adg, &version, &result.schedule, &result.eval, 0, &SimConfig::default());
+        let Ok(report) =
+            simulate(adg, &version, &result.schedule, &result.eval, 0, &SimConfig::default())
+        else {
+            continue;
+        };
         if best.is_none_or(|b| report.cycles < b) {
             best = Some(report.cycles);
         }

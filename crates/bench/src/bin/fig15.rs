@@ -178,14 +178,16 @@ fn main() {
         let Ok(c) = dsagen::compile(&adg, &kernel, &harness_opts()) else {
             continue;
         };
-        let sim = simulate(
+        let Ok(sim) = simulate(
             &adg,
             &c.version,
             &c.schedule,
             &c.eval,
             c.config_path_len,
             &SimConfig::default(),
-        );
+        ) else {
+            continue;
+        };
         let err = (sim.cycles as f64 - c.perf.cycles).abs() / sim.cycles.max(1) as f64;
         errors.push((kernel.name.clone(), err));
         println!(

@@ -11,13 +11,15 @@
 //!   configuration, no repair) with firings identical to the fault-free
 //!   run.
 //! * **permanent** — the same arrival, but the PE never comes back. Must
-//!   recover by decommission + schedule repair + reprogramming, or fail
-//!   with a typed [`dsagen::RecoveryError`] (counted, never a panic).
+//!   recover up the degradation ladder (port rungs → decommission →
+//!   degraded-mode reschedule), or fail with a typed
+//!   [`dsagen::RecoveryError`] (counted, never a panic).
 //!
 //! Reported per pair: detection latency in cycles, mean time to repair
-//! (MTTR) in cycles, and end-to-end overhead versus the fault-free run.
+//! (MTTR) in cycles, and end-to-end overhead versus the fault-free run;
+//! degraded-mode finishes also report the surviving throughput fraction.
 //! A machine-readable copy of the table is written as JSON (first CLI
-//! argument, default `recovery.json`) for the CI artifact upload.
+//! argument, default `BENCH_recovery.json`) for the CI artifact upload.
 //!
 //! Run with: `cargo run --release -p dsagen-bench --bin recovery`
 
@@ -54,6 +56,8 @@ struct PermanentOutcome {
     mttr: f64,
     overhead: f64,
     repaired: bool,
+    degraded: bool,
+    throughput_ratio: f64,
 }
 
 fn fixtures() -> Vec<(&'static str, Adg)> {
@@ -133,6 +137,8 @@ fn bench_one(preset: &'static str, adg: &Adg, kernel: &dsagen_dfg::Kernel) -> Op
                 mttr: rep.mttr_cycles(),
                 overhead: rep.overhead_vs(plain.cycles),
                 repaired,
+                degraded: rep.degraded,
+                throughput_ratio: rep.throughput_ratio.unwrap_or(1.0),
             })
         }
         Err(_typed) => None, // typed failure is an accepted outcome
@@ -159,9 +165,10 @@ fn to_json(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let perm = match &r.p_outcome {
             Some(p) => format!(
-                "{{\"recovered\": true, \"repaired\": {}, \"detect_cycles\": {}, \
+                "{{\"recovered\": true, \"repaired\": {}, \"degraded\": {}, \
+\"throughput_ratio\": {:.4}, \"detect_cycles\": {}, \
 \"mttr_cycles\": {:.1}, \"overhead\": {:.4}}}",
-                p.repaired, p.detect, p.mttr, p.overhead
+                p.repaired, p.degraded, p.throughput_ratio, p.detect, p.mttr, p.overhead
             ),
             None => "{\"recovered\": false}".to_string(),
         };
@@ -187,7 +194,7 @@ fn to_json(rows: &[Row]) -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "recovery.json".to_string());
+        .unwrap_or_else(|| "BENCH_recovery.json".to_string());
 
     println!("RUNTIME RECOVERY: MTTR and overhead vs fault-free (DeadPe at 1/3 of the run)");
     println!(
@@ -208,7 +215,13 @@ fn main() {
                 Some(r) => {
                     let (perm, p_mttr, p_ovhd) = match &r.p_outcome {
                         Some(p) => (
-                            if p.repaired { "repaired" } else { "rollback" },
+                            if p.degraded {
+                                "degraded"
+                            } else if p.repaired {
+                                "repaired"
+                            } else {
+                                "rollback"
+                            },
                             format!("{:.0}", p.mttr),
                             format!("{:+.1}%", 100.0 * p.overhead),
                         ),

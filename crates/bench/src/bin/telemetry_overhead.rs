@@ -105,8 +105,11 @@ fn bench_kernel(adg: &Adg, kernel: &Kernel) -> Row {
     let off = Telemetry::disabled();
     let on = Telemetry::in_memory();
 
-    let run_plain =
-        || simulate(adg, &c.version, &c.schedule, &c.eval, c.config_path_len, &cfg).cycles;
+    let run_plain = || {
+        simulate(adg, &c.version, &c.schedule, &c.eval, c.config_path_len, &cfg)
+            .expect("benchmark schedule must simulate")
+            .cycles
+    };
     let run_with = |tel: &Telemetry| {
         simulate_instrumented(
             adg,
@@ -117,6 +120,7 @@ fn bench_kernel(adg: &Adg, kernel: &Kernel) -> Row {
             &cfg,
             tel,
         )
+        .expect("benchmark schedule must simulate")
         .0
         .cycles
     };

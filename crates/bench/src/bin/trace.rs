@@ -51,13 +51,10 @@ fn main() {
     for kernel in &kernels {
         match compile_traced(&adg, kernel, &opts, &tel) {
             Ok(compiled) => {
-                rows.push(attribute(
-                    &adg,
-                    &kernel.name,
-                    &compiled,
-                    &SimConfig::default(),
-                    &tel,
-                ));
+                match attribute(&adg, &kernel.name, &compiled, &SimConfig::default(), &tel) {
+                    Ok(row) => rows.push(row),
+                    Err(e) => println!("{}: skipped ({e})", kernel.name),
+                }
             }
             Err(e) => println!("{}: skipped ({e})", kernel.name),
         }

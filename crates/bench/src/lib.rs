@@ -36,7 +36,8 @@ pub fn run_workload(adg: &Adg, kernel: &Kernel) -> (Compiled, SimReport) {
         &compiled.eval,
         compiled.config_path_len,
         &SimConfig::default(),
-    );
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, adg.name()));
     (compiled, report)
 }
 
@@ -89,7 +90,8 @@ pub fn run_manual(adg: &Adg, compiled: &Compiled) -> SimReport {
         &compiled.eval,
         0,
         &SimConfig::default(),
-    );
+    )
+    .unwrap_or_else(|e| panic!("manual-tune reuse on {}: {e}", adg.name()));
     let fresh_sched = schedule(adg, &tuned, &harness_opts().scheduler);
     let fresh = simulate(
         adg,
@@ -98,7 +100,8 @@ pub fn run_manual(adg: &Adg, compiled: &Compiled) -> SimReport {
         &fresh_sched.eval,
         0,
         &SimConfig::default(),
-    );
+    )
+    .unwrap_or_else(|e| panic!("manual-tune fresh on {}: {e}", adg.name()));
     // The expert starts from the compiler's output, so hand tuning is never
     // a regression: keep the untouched compiled version as a floor.
     let untouched = simulate(
@@ -108,7 +111,8 @@ pub fn run_manual(adg: &Adg, compiled: &Compiled) -> SimReport {
         &compiled.eval,
         0,
         &SimConfig::default(),
-    );
+    )
+    .unwrap_or_else(|e| panic!("untouched baseline on {}: {e}", adg.name()));
     let mut best = reuse;
     if fresh_sched.is_legal() && fresh.cycles < best.cycles {
         best = fresh;

@@ -208,14 +208,18 @@ impl Attribution {
 /// Joins the analytical model's prediction against an instrumented
 /// simulation of `compiled` on `adg`, emitting an `attribution` event
 /// into `tel` and returning the per-region error table.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates the simulator's typed error if the schedule references
+/// hardware absent from `adg` (see [`dsagen_sim::try_simulate`]).
 pub fn attribute(
     adg: &Adg,
     kernel_name: &str,
     compiled: &Compiled,
     sim_cfg: &SimConfig,
     tel: &Telemetry,
-) -> Attribution {
+) -> Result<Attribution, dsagen_sim::SimError> {
     let (report, hw) = simulate_instrumented(
         adg,
         &compiled.version,
@@ -224,7 +228,7 @@ pub fn attribute(
         compiled.config_path_len,
         sim_cfg,
         tel,
-    );
+    )?;
     let a = join(adg, kernel_name, compiled, report, &hw);
     let (err, rate) = (a.error, a.agreement_rate());
     tel.emit(|| {
@@ -234,7 +238,7 @@ pub fn attribute(
             .arg("error", err)
             .arg("agreement_rate", rate)
     });
-    a
+    Ok(a)
 }
 
 /// Pure join of a model estimate and an instrumented simulation (no
@@ -343,7 +347,7 @@ mod tests {
         let kernel = dsagen_workloads::machsuite::mm();
         let c = compile(&adg, &kernel, &CompileOptions::default()).unwrap();
         let tel = Telemetry::in_memory();
-        let a = attribute(&adg, "mm", &c, &SimConfig::default(), &tel);
+        let a = attribute(&adg, "mm", &c, &SimConfig::default(), &tel).unwrap();
         assert_eq!(a.kernel, "mm");
         assert!(a.measured_cycles > 0);
         assert!(a.predicted_cycles > 0.0);

@@ -43,9 +43,9 @@
 //!     &compiled.eval,
 //!     compiled.config_path_len,
 //!     &dsagen::sim::SimConfig::default(),
-//! );
+//! )?;
 //! assert!(report.cycles > 0);
-//! # Ok::<(), dsagen::CompileError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -77,11 +77,13 @@ use dsagen_scheduler::{schedule as run_scheduler, Evaluation, Problem, Schedule,
 pub mod prelude {
     pub use crate::attribution::{attribute, Attribution};
     pub use crate::{
-        compile, compile_traced, generate, recover, CompileError, CompileOptions, Compiled,
-        Hardware,
+        compile, compile_traced, generate, recover, recover_with_degradation, CompileError,
+        CompileOptions, Compiled, Hardware,
     };
-    pub use dsagen_faults::{FaultLifetime, FaultSchedule};
-    pub use dsagen_sim::{RecoveryError, RecoveryPolicy, RecoveryReport};
+    pub use dsagen_faults::{FaultLifetime, FaultSchedule, StormConfig};
+    pub use dsagen_sim::{
+        RecoveryError, RecoveryOutcome, RecoveryPolicy, RecoveryReport, RepairRung,
+    };
     pub use dsagen_adg::{Adg, BitWidth, OpSet, Opcode, PeSpec, Scheduling, Sharing};
     pub use dsagen_dfg::{
         AffineExpr, Kernel, KernelBuilder, MemClass, TransformConfig, TripCount,
@@ -327,6 +329,38 @@ pub fn recover(
     tel: &dsagen_telemetry::Telemetry,
 ) -> Result<dsagen_sim::RecoveryReport, dsagen_sim::RecoveryError> {
     dsagen_sim::run_with_recovery(
+        adg,
+        &compiled.version,
+        &compiled.schedule,
+        &compiled.eval,
+        compiled.config_path_len,
+        cfg,
+        faults,
+        policy,
+        tel,
+    )
+}
+
+/// [`recover`] with the degradation ladder's typed outcome: distinguishes
+/// a full-fidelity [`dsagen_sim::RecoveryOutcome::Recovered`] finish from
+/// a [`dsagen_sim::RecoveryOutcome::Degraded`] one (structural repair
+/// exhausted; the run finished on the surviving fabric at a measured
+/// fraction of fault-free throughput). Convenience wrapper over
+/// [`dsagen_sim::run_with_degradation`].
+///
+/// # Errors
+///
+/// A typed [`dsagen_sim::RecoveryError`] only when even the degraded-mode
+/// reschedule cannot produce a legal mapping. Never panics.
+pub fn recover_with_degradation(
+    adg: &Adg,
+    compiled: &Compiled,
+    cfg: &dsagen_sim::SimConfig,
+    faults: &dsagen_faults::FaultSchedule,
+    policy: &dsagen_sim::RecoveryPolicy,
+    tel: &dsagen_telemetry::Telemetry,
+) -> Result<dsagen_sim::RecoveryOutcome, dsagen_sim::RecoveryError> {
+    dsagen_sim::run_with_degradation(
         adg,
         &compiled.version,
         &compiled.schedule,

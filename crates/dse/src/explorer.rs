@@ -872,7 +872,7 @@ impl Explorer {
             repair_attempts: 2,
             ..dsagen_sim::RecoveryPolicy::default()
         };
-        match dsagen_sim::run_with_recovery(
+        match dsagen_sim::run_with_degradation(
             &self.adg,
             version,
             sched,
@@ -883,10 +883,17 @@ impl Explorer {
             &policy,
             &self.telemetry,
         ) {
-            Ok(rep) if rep.total_cycles > 0 => {
-                (fault_free.cycles as f64 / rep.total_cycles as f64).clamp(0.0, 1.0)
+            // A degraded-mode finish is scored by what actually survives
+            // — the measured throughput fraction — rather than the blunt
+            // `failure_factor` the fail-stop path used to charge.
+            Ok(out) => {
+                let rep = out.report();
+                if rep.total_cycles > 0 {
+                    (fault_free.cycles as f64 / rep.total_cycles as f64).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
             }
-            Ok(_) => 1.0,
             Err(_) => mode.failure_factor.clamp(0.0, 1.0),
         }
     }

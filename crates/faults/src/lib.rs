@@ -52,7 +52,9 @@
 
 mod schedule;
 
-pub use schedule::{FaultLifetime, FaultSchedule, TimedFault, RUNTIME_KINDS};
+pub use schedule::{
+    FaultLifetime, FaultSchedule, StormConfig, TimedFault, RUNTIME_KINDS, STORM_KINDS,
+};
 
 use std::fmt;
 
@@ -76,6 +78,22 @@ pub enum FaultKind {
     /// A FIFO loses capacity: a sync or delay element's depth is halved
     /// (never below one entry).
     ShrunkFifo,
+    /// Port-level: a single *input port* of a node dies — the link feeding
+    /// that port is lost while the rest of the node keeps working. Finer
+    /// grained than [`FaultKind::DeadPe`]: repair can reroute around the
+    /// port instead of decommissioning the whole node.
+    DeadPort,
+    /// Port-level: one lane of a link sticks at a constant value — data
+    /// still moves at full rate but every word crossing the lane is
+    /// corrupted (silent corruption, caught by the residue check).
+    StuckLane,
+    /// Port-level: a link loses bandwidth but keeps working — it serves
+    /// only `capacity` percent of cycles (marginal timing, a degraded
+    /// SerDes lane). Affected regions throttle instead of stalling.
+    DegradedLink {
+        /// Percent of cycles the link still serves (clamped to 1..=100).
+        capacity: u8,
+    },
     /// Config-plane: one bit of one bitstream word flips in flight
     /// (SEU/crosstalk on the configuration network).
     BitFlip,
@@ -110,6 +128,27 @@ impl FaultKind {
         FaultKind::ReorderedFrame,
     ];
 
+    /// The port/lane-scoped fault kinds: damage below node granularity,
+    /// where repair can reroute around one port instead of decommissioning
+    /// the whole component. Listed separately from [`FaultKind::ALL`] so
+    /// existing seeded draws stay stable.
+    pub const PORT_LEVEL: [FaultKind; 3] = [
+        FaultKind::DeadPort,
+        FaultKind::StuckLane,
+        FaultKind::DegradedLink { capacity: 50 },
+    ];
+
+    /// Whether this kind scopes damage to a single port or lane (see
+    /// [`FaultKind::PORT_LEVEL`]). Payload-carrying kinds match on the
+    /// variant, not the payload.
+    #[must_use]
+    pub fn is_port_level(self) -> bool {
+        matches!(
+            self,
+            FaultKind::DeadPort | FaultKind::StuckLane | FaultKind::DegradedLink { .. }
+        )
+    }
+
     /// Whether this kind targets the configuration plane (bitstream words)
     /// instead of the hardware graph.
     #[must_use]
@@ -136,6 +175,11 @@ impl fmt::Display for FaultKind {
             FaultKind::SeveredLink => "severed-link",
             FaultKind::StuckSwitch => "stuck-switch",
             FaultKind::ShrunkFifo => "shrunk-fifo",
+            FaultKind::DeadPort => "dead-port",
+            FaultKind::StuckLane => "stuck-lane",
+            FaultKind::DegradedLink { capacity } => {
+                return write!(f, "degraded-link({capacity}%)");
+            }
             FaultKind::BitFlip => "bit-flip",
             FaultKind::TruncatedStream => "truncated-stream",
             FaultKind::DuplicatedFrame => "duplicated-frame",
@@ -501,6 +545,36 @@ not the hardware graph — use corrupt_stream/corrupt_words/corrupt_frames"
                 }
             })
         }
+        FaultKind::DeadPort => {
+            // A dead input port loses the one link feeding it. Prefer
+            // ports whose owner has alternatives (in-degree > 1), so the
+            // node itself stays useful — that is what distinguishes a
+            // port fault from a severed link.
+            let ctrl = adg.control();
+            let candidates: Vec<EdgeId> = adg
+                .edges()
+                .filter(|e| Some(e.src) != ctrl && Some(e.dst) != ctrl)
+                .filter(|e| adg.in_edges(e.dst).count() > 1)
+                .map(dsagen_adg::Edge::id)
+                .collect();
+            try_candidates(adg, kind, candidates, rng, |g, eid| {
+                let edge = *g.edge(eid).ok_or("edge vanished")?;
+                let port = g.input_port_of(eid).ok_or("port vanished")?;
+                g.remove_edge(eid).map_err(|e| e.to_string())?;
+                Ok(InjectedFault {
+                    kind,
+                    target: FaultTarget::Edge(eid),
+                    detail: format!(
+                        "input port {port} of {} dead (link from {} lost)",
+                        edge.dst, edge.src
+                    ),
+                })
+            })
+        }
+        FaultKind::StuckLane | FaultKind::DegradedLink { .. } => Err(format!(
+            "{kind} is a runtime-plane fault: the link still exists \
+structurally — use a FaultSchedule and the runtime simulator"
+        )),
         // Config-plane kinds were rejected above.
         _ => Err(format!("{kind} has no structural application")),
     }
@@ -817,6 +891,66 @@ mod tests {
             }
             other => panic!("stuck-switch hit a non-switch: {other:?}"),
         }
+    }
+
+    #[test]
+    fn dead_port_removes_one_link_and_keeps_the_node() {
+        let adg = presets::softbrain();
+        let before = adg.edge_count();
+        let (degraded, report) = inject(&adg, &FaultPlan::new(4).with(FaultKind::DeadPort));
+        assert_eq!(degraded.edge_count(), before - 1, "{report}");
+        let [edge] = report.faulted_edges()[..] else {
+            panic!("expected one faulted edge: {report}");
+        };
+        let victim = adg.edge(edge).expect("edge existed pre-fault");
+        // The port's owner survives: only the link feeding it is gone.
+        assert!(degraded.node(victim.dst).is_some(), "owner decommissioned");
+        assert!(degraded.node(victim.src).is_some(), "driver decommissioned");
+        assert!(
+            degraded.in_edges(victim.dst).count() >= 1,
+            "dead-port must prefer nodes with surviving ports"
+        );
+    }
+
+    #[test]
+    fn port_level_kinds_are_partitioned() {
+        for kind in FaultKind::PORT_LEVEL {
+            assert!(kind.is_port_level(), "{kind} misclassified");
+            assert!(!kind.is_config_plane(), "{kind} misclassified");
+            assert_eq!(kind.plane(), "structural");
+        }
+        for kind in FaultKind::ALL.iter().chain(&FaultKind::CONFIG_PLANE) {
+            assert!(!kind.is_port_level(), "{kind} misclassified");
+        }
+        // Payload does not affect classification.
+        assert!(FaultKind::DegradedLink { capacity: 3 }.is_port_level());
+    }
+
+    #[test]
+    fn runtime_plane_port_kinds_skip_statically() {
+        let adg = presets::softbrain();
+        for kind in [
+            FaultKind::StuckLane,
+            FaultKind::DegradedLink { capacity: 40 },
+        ] {
+            let (degraded, report) = inject(&adg, &FaultPlan::new(1).with(kind));
+            assert_eq!(degraded, adg, "{kind} must not touch the graph");
+            assert_eq!(report.skipped.len(), 1, "{report}");
+            assert!(
+                report.skipped[0].reason.contains("runtime-plane"),
+                "{report}"
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_link_display_carries_capacity() {
+        assert_eq!(
+            FaultKind::DegradedLink { capacity: 35 }.to_string(),
+            "degraded-link(35%)"
+        );
+        assert_eq!(FaultKind::DeadPort.to_string(), "dead-port");
+        assert_eq!(FaultKind::StuckLane.to_string(), "stuck-lane");
     }
 
     #[test]

@@ -132,6 +132,61 @@ pub const RUNTIME_KINDS: [FaultKind; 3] = [
     FaultKind::StuckSwitch,
 ];
 
+/// The fault kinds a [`FaultSchedule::storm`] draw can produce: the
+/// node/link kinds of [`RUNTIME_KINDS`] plus the port/lane-scoped kinds
+/// ([`FaultKind::DeadPort`], [`FaultKind::StuckLane`],
+/// [`FaultKind::DegradedLink`]) that exercise the repair ladder's
+/// port-mask rungs. Kept separate from [`RUNTIME_KINDS`] so existing
+/// seeded [`FaultSchedule::random`] draws stay stable.
+pub const STORM_KINDS: [FaultKind; 6] = [
+    FaultKind::DeadPe,
+    FaultKind::SeveredLink,
+    FaultKind::StuckSwitch,
+    FaultKind::DeadPort,
+    FaultKind::StuckLane,
+    FaultKind::DegradedLink { capacity: 50 },
+];
+
+/// Shape of a multi-fault storm for [`FaultSchedule::storm`].
+///
+/// A storm is a sequence of *bursts*: groups of faults whose arrivals
+/// cluster within [`StormConfig::spread`] cycles of a shared burst center
+/// (correlated neighbors — one thermal event or voltage droop taking out
+/// several elements at once). Burst centers are spaced evenly across the
+/// horizon with seed-derived jitter. With [`StormConfig::escalate`] set,
+/// early bursts lean transient and later bursts lean permanent, modelling
+/// progressive wear-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StormConfig {
+    /// Number of bursts spread across the horizon.
+    pub bursts: usize,
+    /// Faults per burst.
+    pub burst_size: usize,
+    /// Cycle window the storm spans; burst centers land inside it.
+    pub horizon: u64,
+    /// Maximum cycles between a burst's center and its members' arrivals.
+    pub spread: u64,
+    /// Whether lifetimes escalate from transient toward permanent as the
+    /// storm progresses (false: uniform mix like [`FaultSchedule::random`]).
+    pub escalate: bool,
+    /// Whether to draw kinds from [`STORM_KINDS`] (true) or only the
+    /// node/link kinds of [`RUNTIME_KINDS`] (false).
+    pub port_faults: bool,
+}
+
+impl Default for StormConfig {
+    fn default() -> Self {
+        StormConfig {
+            bursts: 3,
+            burst_size: 2,
+            horizon: 4096,
+            spread: 32,
+            escalate: true,
+            port_faults: true,
+        }
+    }
+}
+
 /// A seeded, reproducible schedule of mid-execution faults.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSchedule {
@@ -196,10 +251,102 @@ impl FaultSchedule {
         FaultSchedule { seed, faults }
     }
 
+    /// A seeded multi-fault storm shaped by `cfg`: bursts of correlated
+    /// arrivals with (optionally) escalating permanence. Deterministic in
+    /// `(seed, cfg)`, and **prefix-stable**: truncating the fault list to
+    /// its first `k` entries yields exactly the first `k` faults every
+    /// richer storm from the same `(seed, cfg)` starts with — which is
+    /// what lets soak tests assert monotonic degradation over growing
+    /// storm prefixes.
+    #[must_use]
+    pub fn storm(seed: u64, cfg: &StormConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5707_A11E_D5A6_E401u64);
+        let bursts = cfg.bursts.max(1);
+        let horizon = cfg.horizon.max(2);
+        let kinds: &[FaultKind] = if cfg.port_faults {
+            &STORM_KINDS
+        } else {
+            &RUNTIME_KINDS
+        };
+        let mut faults = Vec::with_capacity(bursts * cfg.burst_size);
+        for b in 0..bursts {
+            // Centers spaced evenly, jittered by up to half a slot.
+            let slot = horizon / (bursts as u64 + 1);
+            let center =
+                (slot * (b as u64 + 1) + rng.gen_range(0..slot.max(1) / 2 + 1)).clamp(1, horizon);
+            // 0 for the first burst, 1.0 for the last: drives escalation.
+            let progress = if bursts > 1 {
+                b as f64 / (bursts - 1) as f64
+            } else {
+                1.0
+            };
+            for _ in 0..cfg.burst_size {
+                let mut kind = kinds[rng.gen_range(0..kinds.len())];
+                if let FaultKind::DegradedLink { .. } = kind {
+                    kind = FaultKind::DegradedLink {
+                        capacity: rng.gen_range(30..90u8),
+                    };
+                }
+                let arrival = (center + rng.gen_range(0..cfg.spread.max(1))).max(1);
+                let lifetime = if cfg.escalate {
+                    // Early bursts clear on their own; late bursts are
+                    // wear-out: permanently broken hardware.
+                    let roll = rng.gen_range(0.0..1.0f64);
+                    if roll < 1.0 - progress {
+                        FaultLifetime::Transient {
+                            duration: rng.gen_range(16..512u64),
+                        }
+                    } else if roll < 1.0 - progress / 2.0 {
+                        FaultLifetime::Intermittent {
+                            period: rng.gen_range(64..512u64),
+                            duty: rng.gen_range(8..64u64),
+                        }
+                    } else {
+                        FaultLifetime::Permanent
+                    }
+                } else {
+                    match rng.gen_range(0..3u8) {
+                        0 => FaultLifetime::Transient {
+                            duration: rng.gen_range(16..512u64),
+                        },
+                        1 => FaultLifetime::Intermittent {
+                            period: rng.gen_range(64..512u64),
+                            duty: rng.gen_range(8..64u64),
+                        },
+                        _ => FaultLifetime::Permanent,
+                    }
+                };
+                faults.push(TimedFault {
+                    arrival,
+                    lifetime,
+                    kind,
+                });
+            }
+        }
+        FaultSchedule { seed, faults }
+    }
+
+    /// The same schedule truncated to its first `k` faults (seed kept).
+    /// With [`FaultSchedule::storm`]'s prefix stability this is "the same
+    /// storm, stopped early".
+    #[must_use]
+    pub fn prefix(&self, k: usize) -> Self {
+        FaultSchedule {
+            seed: self.seed,
+            faults: self.faults.iter().take(k).copied().collect(),
+        }
+    }
+
     /// Whether the schedule contains no faults.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.faults.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
     }
 
     /// The earliest arrival cycle, if any fault is scheduled.
@@ -290,6 +437,87 @@ mod tests {
         let plan = s.structural_plan();
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.faults, vec![FaultKind::DeadPe, FaultKind::StuckSwitch]);
+    }
+
+    #[test]
+    fn storm_is_reproducible_bounded_and_prefix_stable() {
+        let cfg = StormConfig::default();
+        let a = FaultSchedule::storm(0xBADC_0FFE, &cfg);
+        let b = FaultSchedule::storm(0xBADC_0FFE, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.faults.len(), cfg.bursts * cfg.burst_size);
+        for f in &a.faults {
+            assert!(f.arrival >= 1, "{f}");
+            assert!(
+                f.arrival <= cfg.horizon + cfg.spread,
+                "{f} beyond horizon+spread"
+            );
+            assert!(STORM_KINDS.iter().any(|k| {
+                matches!(
+                    (k, f.kind),
+                    (FaultKind::DegradedLink { .. }, FaultKind::DegradedLink { .. })
+                ) || *k == f.kind
+            }), "{f} not a storm kind");
+        }
+        // Prefix stability: the 3-fault prefix is the storm stopped early.
+        let p = a.prefix(3);
+        assert_eq!(p.seed, a.seed);
+        assert_eq!(p.faults[..], a.faults[..3]);
+        assert_ne!(FaultSchedule::storm(0xBADC_0FFF, &cfg), a);
+    }
+
+    #[test]
+    fn storm_bursts_are_correlated_in_time() {
+        let cfg = StormConfig {
+            bursts: 4,
+            burst_size: 3,
+            horizon: 8192,
+            spread: 16,
+            ..StormConfig::default()
+        };
+        let s = FaultSchedule::storm(7, &cfg);
+        for burst in s.faults.chunks(cfg.burst_size) {
+            let lo = burst.iter().map(|f| f.arrival).min().unwrap();
+            let hi = burst.iter().map(|f| f.arrival).max().unwrap();
+            assert!(hi - lo < cfg.spread, "burst spans {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn escalating_storms_end_permanent_heavy() {
+        let cfg = StormConfig {
+            bursts: 8,
+            burst_size: 4,
+            escalate: true,
+            ..StormConfig::default()
+        };
+        // Across seeds, the last burst must be more permanent than the
+        // first (statistically certain with these parameters).
+        let mut first = 0u32;
+        let mut last = 0u32;
+        for seed in 0..16u64 {
+            let s = FaultSchedule::storm(seed, &cfg);
+            let chunks: Vec<_> = s.faults.chunks(cfg.burst_size).collect();
+            first += chunks[0].iter().filter(|f| f.lifetime.is_permanent()).count() as u32;
+            last += chunks[chunks.len() - 1]
+                .iter()
+                .filter(|f| f.lifetime.is_permanent())
+                .count() as u32;
+        }
+        assert!(first == 0, "first bursts must be transient-leaning, got {first} permanent");
+        assert!(last > first, "escalation missing: first={first} last={last}");
+    }
+
+    #[test]
+    fn storm_without_port_faults_stays_node_scoped() {
+        let cfg = StormConfig {
+            port_faults: false,
+            ..StormConfig::default()
+        };
+        let s = FaultSchedule::storm(3, &cfg);
+        for f in &s.faults {
+            assert!(RUNTIME_KINDS.contains(&f.kind), "{f}");
+        }
     }
 
     #[test]

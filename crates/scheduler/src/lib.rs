@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod mask;
 mod objective;
 mod problem;
 mod route;
@@ -29,6 +30,7 @@ mod schedule;
 #[allow(clippy::module_inception)]
 mod scheduler;
 
+pub use mask::{repair_with_mask, CapabilityMask, MaskError};
 pub use objective::{evaluate, Evaluation, RegionEval, Weights, MEM_ROUNDTRIP};
 pub use problem::{op_rates, Entity, EntityKind, Problem, VirtEdge};
 pub use route::{delay_capacity, path_legal, route};

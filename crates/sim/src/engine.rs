@@ -658,16 +658,15 @@ pub fn try_simulate_collect(
 
 /// Simulates one kernel version end to end.
 ///
-/// Thin wrapper over the fallible core: identical code path to
-/// [`try_simulate`], but a schedule referencing missing hardware
-/// **panics** with the typed error's message instead of returning it.
-/// Prefer [`try_simulate`] anywhere the ADG may be degraded.
+/// Alias for [`try_simulate`], kept as the stable entry point: it
+/// returns the same typed [`SimError`](crate::SimError) instead of
+/// panicking, so a stale schedule over a degraded ADG is an ordinary
+/// recoverable condition for the caller.
 ///
-/// # Panics
+/// # Errors
 ///
 /// If the schedule references hardware absent from `adg` (see
 /// [`try_simulate`] for the cases).
-#[must_use]
 pub fn simulate(
     adg: &Adg,
     kernel: &CompiledKernel,
@@ -675,11 +674,8 @@ pub fn simulate(
     eval: &Evaluation,
     config_path_len: u32,
     cfg: &SimConfig,
-) -> SimReport {
-    match try_simulate(adg, kernel, schedule, eval, config_path_len, cfg) {
-        Ok(report) => report,
-        Err(e) => panic!("simulate: {e}"),
-    }
+) -> Result<SimReport, crate::SimError> {
+    try_simulate(adg, kernel, schedule, eval, config_path_len, cfg)
 }
 
 /// [`simulate`] plus full hardware counters, with telemetry events for
@@ -688,13 +684,14 @@ pub fn simulate(
 /// [`SimReport`] is **bit-identical** to what [`simulate`] produces for
 /// the same inputs — instrumentation never perturbs the simulation.
 ///
-/// Thin wrapper over the same fallible core as [`try_simulate`].
+/// Thin wrapper over the same fallible core as [`try_simulate`]; a
+/// failed run ends the telemetry span with the error before returning
+/// it, so traces stay well-formed even on the error path.
 ///
-/// # Panics
+/// # Errors
 ///
 /// If the schedule references hardware absent from `adg` (see
 /// [`try_simulate`]).
-#[must_use]
 pub fn simulate_instrumented(
     adg: &Adg,
     kernel: &CompiledKernel,
@@ -703,19 +700,23 @@ pub fn simulate_instrumented(
     config_path_len: u32,
     cfg: &SimConfig,
     tel: &dsagen_telemetry::Telemetry,
-) -> (SimReport, SimTelemetry) {
+) -> Result<(SimReport, SimTelemetry), crate::SimError> {
     let mut span = tel.span("phase", "simulate");
     let (report, telemetry) =
         match try_simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg) {
             Ok(pair) => pair,
-            Err(e) => panic!("simulate_instrumented: {e}"),
+            Err(e) => {
+                span.arg("error", e.to_string());
+                span.end();
+                return Err(e);
+            }
         };
     span.arg("cycles", report.cycles);
     span.arg("pes", telemetry.pes.len());
     span.arg("streams", telemetry.streams.len());
     span.end();
     telemetry.emit(tel);
-    (report, telemetry)
+    Ok((report, telemetry))
 }
 
 impl StreamState {

@@ -39,7 +39,7 @@
 //! let kernel = k.build()?;
 //! let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())?;
 //! let sched = schedule(&adg, &ck, &SchedulerConfig::default());
-//! let report = simulate(&adg, &ck, &sched.schedule, &sched.eval, 0, &SimConfig::default());
+//! let report = simulate(&adg, &ck, &sched.schedule, &sched.eval, 0, &SimConfig::default())?;
 //! assert!(report.cycles >= 256);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -56,8 +56,8 @@ pub mod telemetry;
 pub use cosim::{simulate_functional, CoSimError, CoSimReport};
 pub use engine::{simulate, simulate_instrumented, try_simulate, try_simulate_collect};
 pub use recovery::{
-    run_with_recovery, RecoveryAction, RecoveryError, RecoveryEvent, RecoveryPolicy,
-    RecoveryReport,
+    run_with_degradation, run_with_recovery, RecoveryAction, RecoveryError, RecoveryEvent,
+    RecoveryOutcome, RecoveryPolicy, RecoveryReport, RepairRung,
 };
 pub use runtime::{
     Detector, RuntimeConfig, RuntimeFault, RuntimeSim, SimCheckpoint, StepOutcome,
@@ -258,7 +258,7 @@ mod tests {
         let ck = compile_kernel(kernel, cfg, &adg.features()).unwrap();
         let s = schedule(adg, &ck, &SchedulerConfig::default());
         assert!(s.is_legal(), "schedule: {:?}", s.eval);
-        let report = simulate(adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default());
+        let report = simulate(adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default()).unwrap();
         let est = PerfModel::default().estimate(adg, &ck, &s.schedule, &s.eval, 0);
         (ck, report, est.cycles)
     }
@@ -311,8 +311,8 @@ mod tests {
         let adg = presets::softbrain();
         let ck = compile_kernel(&dot(256), &TransformConfig::fallback(), &adg.features()).unwrap();
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
-        let short = simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default());
-        let long = simulate(&adg, &ck, &s.schedule, &s.eval, 300, &SimConfig::default());
+        let short = simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default()).unwrap();
+        let long = simulate(&adg, &ck, &s.schedule, &s.eval, 300, &SimConfig::default()).unwrap();
         assert_eq!(long.cycles, short.cycles + 300);
     }
 
@@ -364,7 +364,8 @@ mod tests {
         let adg = presets::softbrain();
         let ck = compile_kernel(&dot(256), &TransformConfig::fallback(), &adg.features()).unwrap();
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
-        let direct = simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default());
+        let direct =
+            simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default()).unwrap();
         let checked =
             try_simulate(&adg, &ck, &s.schedule, &s.eval, 0, &SimConfig::default()).unwrap();
         assert_eq!(direct, checked);
@@ -425,7 +426,8 @@ mod tests {
         let adg = presets::softbrain();
         let ck = compile_kernel(&dot(1024), &TransformConfig::fallback(), &adg.features()).unwrap();
         let s = schedule(&adg, &ck, &SchedulerConfig::default());
-        let plain = simulate(&adg, &ck, &s.schedule, &s.eval, 37, &SimConfig::default());
+        let plain =
+            simulate(&adg, &ck, &s.schedule, &s.eval, 37, &SimConfig::default()).unwrap();
         let tel = dsagen_telemetry::Telemetry::in_memory();
         let (instrumented, hw) = simulate_instrumented(
             &adg,
@@ -435,7 +437,8 @@ mod tests {
             37,
             &SimConfig::default(),
             &tel,
-        );
+        )
+        .unwrap();
         // Instrumentation must not perturb the simulation.
         assert_eq!(plain, instrumented);
         assert_eq!(hw.cycles, plain.cycles);

@@ -26,8 +26,30 @@
 //! to the fault-free run for recovered faults) plus one
 //! [`RecoveryEvent`] per intervention and the total overhead in cycles.
 //! Every failure mode is a typed [`RecoveryError`];
-//! [`RecoveryError::Unrecoverable`] means repair exhausted its
-//! escalation budget — nothing in this module panics.
+//! [`RecoveryError::Unrecoverable`] means even the degraded-mode rung
+//! failed — nothing in this module panics.
+//!
+//! # The degradation ladder
+//!
+//! Step 2 is not all-or-nothing: structural repair climbs a ladder of
+//! [`RepairRung`]s from least to most destructive, and when every
+//! structural rung fails the run continues in *degraded mode* instead of
+//! aborting:
+//!
+//! 1. [`RepairRung::PortReroute`] — mask only the afflicted port/link
+//!    (capability mask) and reroute around it with the base repair
+//!    budget; the victim's owner keeps serving on its other ports.
+//! 2. [`RepairRung::PortMask`] — same mask, full escalation budget.
+//! 3. [`RepairRung::NodeDecommission`] — remove the whole owning node,
+//!    the pre-ladder fail-stop behaviour, now the *last* structural rung.
+//! 4. **Degraded mode** — re-schedule the kernel from scratch on the
+//!    surviving fabric with relaxed objectives (II and timing-mismatch
+//!    pressure dropped, so a slower-but-feasible mapping wins), resume
+//!    from the checkpoint ring, and finish at reduced throughput. The
+//!    run returns `Ok` with [`RecoveryReport::degraded`] set and a
+//!    measured [`RecoveryReport::throughput_ratio`]; callers that want
+//!    the distinction typed use [`run_with_degradation`], which wraps
+//!    the report in [`RecoveryOutcome`].
 
 use std::fmt;
 
@@ -39,7 +61,8 @@ use dsagen_hwgen::{
     SessionError, SessionState,
 };
 use dsagen_scheduler::{
-    repair_with_escalation, Evaluation, Problem, RepairOutcome, Schedule, SchedulerConfig,
+    repair_with_mask, CapabilityMask, Evaluation, Problem, RepairOutcome, Schedule,
+    SchedulerConfig, Weights,
 };
 use dsagen_telemetry::Telemetry;
 
@@ -76,18 +99,54 @@ impl Default for RecoveryPolicy {
     }
 }
 
+/// One structural rung of the degradation ladder, least to most
+/// destructive. Which rung actually repaired a fault is recorded in
+/// [`RecoveryAction::Repaired`] so soak runs can attribute every
+/// recovery to its granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepairRung {
+    /// Only the afflicted port/link is masked; repair reroutes around it
+    /// with the base budget. The victim's owner keeps all other ports.
+    PortReroute,
+    /// Same port mask, full escalation budget.
+    PortMask,
+    /// The whole owning node is decommissioned — the pre-ladder
+    /// fail-stop behaviour, now the last structural rung.
+    NodeDecommission,
+}
+
+impl fmt::Display for RepairRung {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RepairRung::PortReroute => "port-reroute",
+            RepairRung::PortMask => "port-mask",
+            RepairRung::NodeDecommission => "node-decommission",
+        })
+    }
+}
+
 /// What the orchestrator did about one detected fault.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecoveryAction {
     /// Transient fault: rolled back (if needed) and resumed on the same
     /// mapping after a verified configuration scrub.
     RollbackOnly,
-    /// Permanent/intermittent fault: victim decommissioned, schedule
-    /// repaired, fabric reprogrammed with the repaired configuration.
+    /// Permanent/intermittent fault: damage masked at the recorded rung,
+    /// schedule repaired, fabric reprogrammed with the repaired
+    /// configuration.
     Repaired {
         /// How much of the previous schedule survived.
         outcome: RepairOutcome,
         /// Scheduler iterations the repair took.
+        iterations: u32,
+        /// Which ladder rung produced the legal repair.
+        rung: RepairRung,
+    },
+    /// Every structural rung failed: the kernel was re-scheduled from
+    /// scratch on the surviving fabric with relaxed objectives and the
+    /// run continued in degraded mode.
+    DegradedReschedule {
+        /// Scheduler iterations the degraded reschedule took.
         iterations: u32,
     },
 }
@@ -96,8 +155,15 @@ impl fmt::Display for RecoveryAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryAction::RollbackOnly => f.write_str("rollback-only"),
-            RecoveryAction::Repaired { outcome, iterations } => {
-                write!(f, "repaired ({outcome:?}, {iterations} iters)")
+            RecoveryAction::Repaired {
+                outcome,
+                iterations,
+                rung,
+            } => {
+                write!(f, "repaired@{rung} ({outcome:?}, {iterations} iters)")
+            }
+            RecoveryAction::DegradedReschedule { iterations } => {
+                write!(f, "degraded-reschedule ({iterations} iters)")
             }
         }
     }
@@ -143,8 +209,8 @@ pub enum RecoveryError {
     /// The simulation could not start or resume (schedule/hardware
     /// mismatch).
     Sim(SimError),
-    /// Repair exhausted its escalation budget (or the victim could not
-    /// be decommissioned): the fabric cannot run this kernel any more.
+    /// Every ladder rung failed, including the degraded-mode reschedule:
+    /// the surviving fabric cannot run this kernel at all.
     Unrecoverable {
         /// The fault that ended the run.
         fault: Box<RuntimeFault>,
@@ -218,6 +284,17 @@ pub struct RecoveryReport {
     /// Configuration-path length programmed at the end of the run (may
     /// differ from the initial one after repairs).
     pub config_path_len: u32,
+    /// Whether any fault fell through to the degraded-mode rung (the run
+    /// finished at reduced throughput on a relaxed-objective mapping).
+    pub degraded: bool,
+    /// Measured throughput relative to the fault-free run
+    /// (`fault_free_cycles / total_cycles`, clamped to `(0, 1]`). Only
+    /// computed for degraded runs; `None` otherwise.
+    pub throughput_ratio: Option<f64>,
+    /// Human-readable labels of every capability taken offline by the
+    /// ladder (masked ports, severed links, decommissioned nodes), in
+    /// recovery order.
+    pub masked_resources: Vec<String>,
 }
 
 impl RecoveryReport {
@@ -286,6 +363,8 @@ pub fn run_with_recovery(
     let mut cpl_now = config_path_len;
     let mut events: Vec<RecoveryEvent> = Vec::new();
     let mut overhead: u64 = 0;
+    let mut degraded = false;
+    let mut masked_resources: Vec<String> = Vec::new();
 
     loop {
         match sim.run_until_event() {
@@ -313,42 +392,123 @@ pub fn run_with_recovery(
                 let ckpt = sim.rollback_target(&fault);
                 let replayed = fault.detected_at.saturating_sub(ckpt.wall());
 
-                // 2. Repair (permanent/intermittent only).
+                // 2. Repair (permanent/intermittent only): climb the
+                //    degradation ladder — port mask, escalated port
+                //    mask, node decommission, then degraded-mode
+                //    reschedule. Each structural rung masks damage on a
+                //    scratch fabric; an infeasible rung escalates
+                //    instead of aborting.
                 let needs_repair =
                     !matches!(fault.lifetime, FaultLifetime::Transient { .. });
                 let (action, sched_now, eval_now) = if needs_repair {
                     let mut rspan = tel.span("recovery", "repair");
-                    decommission(&mut adg_now, &fault)?;
-                    let res = repair_with_escalation(
-                        &adg_now,
-                        kernel,
-                        sim.schedule(),
-                        &policy.scheduler,
-                        policy.repair_attempts,
-                    );
-                    rspan.arg("iterations", u64::from(res.iterations));
-                    rspan.arg("legal", res.is_legal());
-                    rspan.end();
-                    if !res.is_legal() {
-                        span.arg("outcome", "unrecoverable");
-                        span.end();
-                        return Err(RecoveryError::Unrecoverable {
-                            fault: Box::new(fault),
-                            reason: format!(
-                                "repair exhausted escalation after {} iterations \
-(outcome {:?})",
-                                res.iterations, res.outcome
-                            ),
+                    let mut chosen = None;
+                    for (rung, mask) in ladder(&adg_now, &fault) {
+                        let attempts = match rung {
+                            RepairRung::PortReroute => 1,
+                            _ => policy.repair_attempts,
+                        };
+                        let attempt = repair_with_mask(
+                            &adg_now,
+                            kernel,
+                            sim.schedule(),
+                            &policy.scheduler,
+                            attempts,
+                            &mask,
+                        );
+                        let legal = attempt
+                            .as_ref()
+                            .is_ok_and(|(res, _)| res.is_legal());
+                        tel.emit(|| {
+                            dsagen_telemetry::EventData::new("recovery", "rung")
+                                .arg("rung", rung.to_string())
+                                .arg("legal", legal)
                         });
+                        if let Ok((res, masked_adg)) = attempt {
+                            if res.is_legal() {
+                                chosen = Some((res, masked_adg, mask, rung));
+                                break;
+                            }
+                        }
                     }
-                    (
-                        RecoveryAction::Repaired {
-                            outcome: res.outcome,
-                            iterations: res.iterations,
-                        },
-                        Some(res.schedule),
-                        Some(res.eval),
-                    )
+                    match chosen {
+                        Some((res, masked_adg, mask, rung)) => {
+                            rspan.arg("rung", rung.to_string());
+                            rspan.arg("iterations", u64::from(res.iterations));
+                            rspan.arg("legal", true);
+                            rspan.end();
+                            masked_resources.extend(mask.describe(&adg_now));
+                            adg_now = masked_adg;
+                            (
+                                RecoveryAction::Repaired {
+                                    outcome: res.outcome,
+                                    iterations: res.iterations,
+                                    rung,
+                                },
+                                Some(res.schedule),
+                                Some(res.eval),
+                            )
+                        }
+                        None => {
+                            // Final rung: degraded mode. Quarantine as
+                            // much of the victim as still validates and
+                            // re-schedule from scratch with relaxed
+                            // objectives — a slower-but-feasible mapping
+                            // beats an abort.
+                            rspan.arg("legal", false);
+                            rspan.end();
+                            let mut dspan = tel.span("recovery/degraded", "reschedule");
+                            let relaxed = relaxed_config(&policy.scheduler);
+                            let mut found = None;
+                            let mut spent: u64 = 0;
+                            for (degraded_adg, mask_desc) in
+                                quarantine_candidates(&adg_now, &fault)
+                            {
+                                let res = dsagen_scheduler::schedule(
+                                    &degraded_adg,
+                                    kernel,
+                                    &relaxed,
+                                );
+                                spent += u64::from(res.iterations);
+                                if res.is_legal() {
+                                    found = Some((res, degraded_adg, mask_desc));
+                                    break;
+                                }
+                            }
+                            dspan.arg("iterations", spent);
+                            dspan.arg("legal", found.is_some());
+                            dspan.end();
+                            let Some((res, degraded_adg, mask_desc)) = found else {
+                                span.arg("outcome", "unrecoverable");
+                                span.end();
+                                return Err(RecoveryError::Unrecoverable {
+                                    fault: Box::new(fault),
+                                    reason: format!(
+                                        "every ladder rung failed; no quarantine of the \
+surviving fabric reschedules legally ({spent} iterations spent)"
+                                    ),
+                                });
+                            };
+                            degraded = true;
+                            masked_resources.extend(mask_desc);
+                            adg_now = degraded_adg;
+                            tel.emit(|| {
+                                dsagen_telemetry::EventData::new(
+                                    "recovery/degraded",
+                                    "entered",
+                                )
+                                .arg("fault", fault.kind.to_string())
+                                .arg("victim", fault.victim.to_string())
+                            });
+                            (
+                                RecoveryAction::DegradedReschedule {
+                                    iterations: res.iterations,
+                                },
+                                Some(res.schedule),
+                                Some(res.eval),
+                            )
+                        }
+                    }
                 } else {
                     (RecoveryAction::RollbackOnly, None, None)
                 };
@@ -422,9 +582,30 @@ pub fn run_with_recovery(
 
     let report = sim.report();
     let total_cycles = report.cycles + overhead;
+    // Degraded runs measure their throughput against the fault-free
+    // baseline on the pristine inputs (computed only when needed).
+    let throughput_ratio = if degraded {
+        let baseline =
+            crate::try_simulate(adg, kernel, schedule, eval, config_path_len, cfg)?;
+        let ratio = if total_cycles == 0 {
+            1.0
+        } else {
+            (baseline.cycles as f64 / total_cycles as f64).clamp(f64::MIN_POSITIVE, 1.0)
+        };
+        tel.emit(|| {
+            dsagen_telemetry::EventData::new("recovery/degraded", "throughput")
+                .arg("baseline_cycles", baseline.cycles)
+                .arg("total_cycles", total_cycles)
+                .arg("ratio", format!("{ratio:.4}"))
+        });
+        Some(ratio)
+    } else {
+        None
+    };
     span.arg("recoveries", events.len() as u64);
     span.arg("overhead_cycles", overhead);
     span.arg("total_cycles", total_cycles);
+    span.arg("degraded", degraded);
     span.end();
     Ok(RecoveryReport {
         report,
@@ -432,20 +613,210 @@ pub fn run_with_recovery(
         overhead_cycles: overhead,
         total_cycles,
         config_path_len: cpl_now,
+        degraded,
+        throughput_ratio,
+        masked_resources,
     })
 }
 
-/// Removes the fault's victim from the hardware graph so repair cannot
-/// map anything onto it again.
-fn decommission(adg: &mut Adg, fault: &RuntimeFault) -> Result<(), RecoveryError> {
-    let res = match fault.victim {
-        FaultTarget::Node(n) => adg.remove_node(n).map(|_| ()).map_err(|e| e.to_string()),
-        FaultTarget::Edge(e) => adg.remove_edge(e).map(|_| ()).map_err(|e| e.to_string()),
-        FaultTarget::Word(_) => Err("fault has no hardware victim".to_string()),
+/// The structural rungs to try for `fault`, least to most destructive.
+/// Edge-victim faults (severed links, dead ports, stuck lanes, degraded
+/// links) get the port rungs first; node victims go straight to
+/// decommission. A `Word` victim has no hardware to mask (it can only
+/// reach here defensively) and yields no structural rungs.
+fn ladder(adg: &Adg, fault: &RuntimeFault) -> Vec<(RepairRung, CapabilityMask)> {
+    match fault.victim {
+        FaultTarget::Edge(e) => {
+            let mut rungs = vec![
+                (RepairRung::PortReroute, CapabilityMask::new().with_edge(e)),
+                (RepairRung::PortMask, CapabilityMask::new().with_edge(e)),
+            ];
+            if let Some(edge) = adg.edge(e) {
+                rungs.push((
+                    RepairRung::NodeDecommission,
+                    CapabilityMask::new().with_node(edge.dst),
+                ));
+            }
+            rungs
+        }
+        FaultTarget::Node(n) => vec![(
+            RepairRung::NodeDecommission,
+            CapabilityMask::new().with_node(n),
+        )],
+        FaultTarget::Word(_) => Vec::new(),
+    }
+}
+
+/// For the degraded-mode rung: every quarantine the fabric can
+/// structurally afford, most to least protective — whole node if it
+/// validates, then just the link, and finally the fabric as-is (the
+/// fault's effects have been consumed, so an unmasked reschedule still
+/// models a reconfigured-but-bruised fabric). The degraded rung tries
+/// these in order and keeps the first one that reschedules legally, so
+/// an over-eager quarantine can never turn into an avoidable abort.
+fn quarantine_candidates(adg: &Adg, fault: &RuntimeFault) -> Vec<(Adg, Vec<String>)> {
+    let masks: Vec<CapabilityMask> = match fault.victim {
+        FaultTarget::Node(n) => vec![CapabilityMask::new().with_node(n)],
+        FaultTarget::Edge(e) => {
+            let mut m = Vec::new();
+            if let Some(edge) = adg.edge(e) {
+                m.push(CapabilityMask::new().with_node(edge.dst));
+            }
+            m.push(CapabilityMask::new().with_edge(e));
+            m
+        }
+        FaultTarget::Word(_) => Vec::new(),
     };
-    res.map_err(|reason| RecoveryError::Unrecoverable {
-        fault: Box::new(fault.clone()),
-        reason: format!("cannot decommission victim: {reason}"),
+    let mut out = Vec::new();
+    for mask in masks {
+        if let Ok(masked) = mask.apply(adg) {
+            let desc = mask.describe(adg);
+            out.push((masked, desc));
+        }
+    }
+    out.push((adg.clone(), Vec::new()));
+    out
+}
+
+/// Scheduler configuration for the degraded-mode reschedule: feasibility
+/// over performance. II and timing-mismatch pressure are dropped (a
+/// high-II, throttled mapping is acceptable), route-length pressure is
+/// zeroed, and the iteration budget is raised — the degraded rung runs
+/// once, so spending more search there is cheap insurance against an
+/// avoidable abort.
+fn relaxed_config(base: &SchedulerConfig) -> SchedulerConfig {
+    SchedulerConfig {
+        // Floor the budget: the degraded rung is the last resort, so it
+        // must not inherit a deliberately-skinny online-repair budget.
+        max_iters: base.max_iters.saturating_mul(4).clamp(512, 4096),
+        seed: base.seed ^ 0xDE6A_ADED,
+        weights: Weights {
+            ii: 1.0,
+            mismatch: 1.0,
+            recurrence: 0.0,
+            hops: 0.0,
+            ..base.weights
+        },
+        ..*base
+    }
+}
+
+/// The typed outcome of [`run_with_degradation`]: either full-fidelity
+/// recovery or a degraded-mode finish, never a panic and never an abort
+/// while any rung of the ladder can still serve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryOutcome {
+    /// Every detected fault was recovered at full fidelity: outputs and
+    /// throughput-class match the fault-free run (modulo recovery
+    /// overhead).
+    Recovered(RecoveryReport),
+    /// At least one fault exhausted the structural rungs; the run
+    /// finished on a relaxed-objective mapping at reduced throughput.
+    Degraded {
+        /// Measured `fault_free_cycles / total_cycles`, in `(0, 1]`.
+        throughput_ratio: f64,
+        /// Capabilities the ladder took offline, in recovery order.
+        masked_resources: Vec<String>,
+        /// The full recovery report (with [`RecoveryReport::degraded`]
+        /// set).
+        report: RecoveryReport,
+    },
+}
+
+impl RecoveryOutcome {
+    /// The underlying recovery report, whichever arm this is.
+    #[must_use]
+    pub fn report(&self) -> &RecoveryReport {
+        match self {
+            RecoveryOutcome::Recovered(r) => r,
+            RecoveryOutcome::Degraded { report, .. } => report,
+        }
+    }
+
+    /// Whether the run finished in degraded mode.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, RecoveryOutcome::Degraded { .. })
+    }
+
+    /// Throughput relative to the fault-free run: the measured ratio for
+    /// degraded runs, `1.0` for full-fidelity recoveries (recovery
+    /// overhead is reported separately via
+    /// [`RecoveryReport::overhead_vs`]).
+    #[must_use]
+    pub fn throughput_ratio(&self) -> f64 {
+        match self {
+            RecoveryOutcome::Recovered(_) => 1.0,
+            RecoveryOutcome::Degraded {
+                throughput_ratio, ..
+            } => *throughput_ratio,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryOutcome::Recovered(r) => {
+                write!(f, "recovered ({} recoveries)", r.recoveries())
+            }
+            RecoveryOutcome::Degraded {
+                throughput_ratio,
+                masked_resources,
+                report,
+            } => write!(
+                f,
+                "degraded (throughput {:.2}, {} masked, {} recoveries)",
+                throughput_ratio,
+                masked_resources.len(),
+                report.recoveries()
+            ),
+        }
+    }
+}
+
+/// [`run_with_recovery`] with the degraded/recovered distinction typed:
+/// wraps the report in a [`RecoveryOutcome`] so callers (the DSE
+/// reliability mode, the soak harness) can score degraded throughput
+/// without re-deriving it.
+///
+/// # Errors
+///
+/// Exactly [`run_with_recovery`]'s: every terminal failure mode is a
+/// typed [`RecoveryError`]; never panics.
+#[allow(clippy::too_many_arguments)] // mirrors `run_with_recovery`
+pub fn run_with_degradation(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    schedule: &Schedule,
+    eval: &Evaluation,
+    config_path_len: u32,
+    cfg: &SimConfig,
+    faults: &FaultSchedule,
+    policy: &RecoveryPolicy,
+    tel: &Telemetry,
+) -> Result<RecoveryOutcome, RecoveryError> {
+    let report = run_with_recovery(
+        adg,
+        kernel,
+        schedule,
+        eval,
+        config_path_len,
+        cfg,
+        faults,
+        policy,
+        tel,
+    )?;
+    Ok(if report.degraded {
+        RecoveryOutcome::Degraded {
+            // `degraded` implies the ratio was measured; 0.0 would mean
+            // a zero-cycle baseline, which `clamp` above rules out.
+            throughput_ratio: report.throughput_ratio.unwrap_or(1.0),
+            masked_resources: report.masked_resources.clone(),
+            report,
+        }
+    } else {
+        RecoveryOutcome::Recovered(report)
     })
 }
 
@@ -570,14 +941,22 @@ mod tests {
             Ok(rep) => {
                 assert_eq!(rep.events.len(), 1);
                 assert!(
-                    matches!(rep.events[0].action, RecoveryAction::Repaired { .. }),
-                    "permanent faults must be repaired, got {}",
+                    matches!(
+                        rep.events[0].action,
+                        RecoveryAction::Repaired { .. }
+                            | RecoveryAction::DegradedReschedule { .. }
+                    ),
+                    "permanent faults must be repaired or degraded, got {}",
                     rep.events[0].action
                 );
                 assert_eq!(rep.report.firings, plain.firings, "recovered outputs differ");
+                if rep.degraded {
+                    let ratio = rep.throughput_ratio.expect("degraded measures throughput");
+                    assert!(ratio > 0.0 && ratio <= 1.0, "ratio {ratio}");
+                }
             }
             Err(e) => {
-                // Degrading typed is acceptable; panicking is not.
+                // Failing typed is acceptable; panicking is not.
                 assert!(
                     matches!(
                         e,
@@ -611,6 +990,169 @@ mod tests {
         // functional report is *exactly* the fault-free one.
         assert_eq!(rep.report, plain);
         assert!(ev.replayed_cycles > 0, "corruption forces replay");
+    }
+
+    #[test]
+    fn permanent_link_fault_repairs_at_port_granularity() {
+        let fx = fixture(4096);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        let faults = FaultSchedule::new(23).with(
+            200,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::SeveredLink,
+        );
+        let tel = Telemetry::in_memory();
+        let rep = recover(&fx, &faults, &RecoveryPolicy::default(), &tel).unwrap();
+        assert_eq!(rep.events.len(), 1);
+        let RecoveryAction::Repaired { rung, .. } = rep.events[0].action else {
+            panic!("expected structural repair, got {}", rep.events[0].action);
+        };
+        // The ladder tries the port rungs first; on a healthy softbrain
+        // rerouting one link must succeed without decommissioning a node.
+        assert_ne!(
+            rung,
+            RepairRung::NodeDecommission,
+            "a single severed link must not cost a whole node"
+        );
+        assert_eq!(rep.masked_resources.len(), 1, "{:?}", rep.masked_resources);
+        assert!(
+            rep.masked_resources[0].starts_with("link"),
+            "{:?}",
+            rep.masked_resources
+        );
+        assert!(!rep.degraded);
+        assert_eq!(rep.report.firings, plain.firings);
+        // Telemetry attributes the rung.
+        assert!(tel
+            .events()
+            .iter()
+            .any(|e| e.cat == "recovery" && e.name == "rung"));
+    }
+
+    #[test]
+    fn dead_port_fault_masks_only_the_port() {
+        let fx = fixture(4096);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        let faults = FaultSchedule::new(29).with(
+            200,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::DeadPort,
+        );
+        let rep =
+            recover(&fx, &faults, &RecoveryPolicy::default(), &Telemetry::disabled()).unwrap();
+        assert_eq!(rep.events.len(), 1);
+        assert!(matches!(rep.events[0].fault.victim, FaultTarget::Edge(_)));
+        assert!(
+            matches!(
+                rep.events[0].action,
+                RecoveryAction::Repaired { .. } | RecoveryAction::DegradedReschedule { .. }
+            ),
+            "{}",
+            rep.events[0].action
+        );
+        assert_eq!(rep.report.firings, plain.firings);
+    }
+
+    /// A saturated fabric: a 1×2 mesh whose two dedicated PEs are both
+    /// needed by the dot kernel, so decommissioning either is
+    /// structurally infeasible and repair must fall through the ladder.
+    fn saturated_fixture(n: u64) -> (Adg, CompiledKernel, Schedule, Evaluation) {
+        use dsagen_adg::{OpSet, PeSpec, Scheduling, Sharing};
+        let pe = PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu().union(OpSet::integer_mul()),
+        );
+        let adg = presets::mesh(&presets::MeshConfig::new("saturated", 1, 2, pe));
+        let ck = compile_kernel(&dot(n), &TransformConfig::fallback(), &adg.features()).unwrap();
+        let s = schedule(&adg, &ck, &dsagen_scheduler::SchedulerConfig::default());
+        assert!(s.is_legal(), "saturated fixture schedule: {:?}", s.eval);
+        (adg, ck, s.schedule, s.eval)
+    }
+
+    #[test]
+    fn exhausted_structural_rungs_degrade_instead_of_aborting() {
+        let fx = saturated_fixture(1024);
+        let plain =
+            try_simulate(&fx.0, &fx.1, &fx.2, &fx.3, 0, &SimConfig::default()).unwrap();
+        // Both PEs are busy, so whichever the permanent fault hits,
+        // node decommission cannot produce a legal repair. Before the
+        // ladder this returned RecoveryError::Unrecoverable; now the
+        // degraded rung must finish the run.
+        let faults = FaultSchedule::new(11).with(
+            200,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::DeadPe,
+        );
+        let (adg, ck, sch, ev) = &fx;
+        let out = run_with_degradation(
+            adg,
+            ck,
+            sch,
+            ev,
+            0,
+            &SimConfig::default(),
+            &faults,
+            &RecoveryPolicy::default(),
+            &Telemetry::disabled(),
+        )
+        .unwrap_or_else(|e| panic!("degraded rung aborted: {e}"));
+        let RecoveryOutcome::Degraded {
+            throughput_ratio,
+            masked_resources: _,
+            report,
+        } = &out
+        else {
+            panic!("expected a degraded finish, got {out}");
+        };
+        assert!(
+            *throughput_ratio > 0.0 && *throughput_ratio <= 1.0,
+            "ratio {throughput_ratio}"
+        );
+        assert!(report.degraded);
+        assert_eq!(report.throughput_ratio, Some(*throughput_ratio));
+        assert!(
+            matches!(
+                report.events[0].action,
+                RecoveryAction::DegradedReschedule { .. }
+            ),
+            "{}",
+            report.events[0].action
+        );
+        assert_eq!(out.throughput_ratio(), *throughput_ratio);
+        assert!(out.is_degraded());
+        assert_eq!(
+            report.report.firings, plain.firings,
+            "degraded run must still complete all work"
+        );
+    }
+
+    #[test]
+    fn recovery_with_degradation_is_deterministic() {
+        let fx = fixture(4096);
+        let faults = FaultSchedule::new(31).with(
+            250,
+            dsagen_faults::FaultLifetime::Permanent,
+            FaultKind::SeveredLink,
+        );
+        let (adg, ck, sch, ev) = &fx;
+        let run = || {
+            run_with_degradation(
+                adg,
+                ck,
+                sch,
+                ev,
+                0,
+                &SimConfig::default(),
+                &faults,
+                &RecoveryPolicy::default(),
+                &Telemetry::disabled(),
+            )
+            .unwrap()
+        };
+        assert_eq!(run(), run(), "replay must be bit-identical");
     }
 
     #[test]

@@ -10,13 +10,21 @@
 //!
 //! # Fault behaviour model
 //!
-//! * **Blocking** faults ([`FaultKind::DeadPe`], [`FaultKind::SeveredLink`])
-//!   stop the victim from moving data: every region whose placement or
-//!   routes use the victim cannot fire while the fault is active. The
-//!   region's streams keep draining, so the symptom is a *silent stall*.
-//! * **Silent-corruption** faults ([`FaultKind::StuckSwitch`]) keep data
-//!   moving but deliver the wrong operands: affected regions fire
-//!   normally and every firing produces poisoned results.
+//! * **Blocking** faults ([`FaultKind::DeadPe`], [`FaultKind::SeveredLink`],
+//!   [`FaultKind::DeadPort`]) stop the victim from moving data: every
+//!   region whose placement or routes use the victim cannot fire while the
+//!   fault is active. The region's streams keep draining, so the symptom
+//!   is a *silent stall*. A dead port scopes the same symptom to one
+//!   routed link, so recovery can mask just that port.
+//! * **Silent-corruption** faults ([`FaultKind::StuckSwitch`],
+//!   [`FaultKind::StuckLane`]) keep data moving but deliver the wrong
+//!   operands: affected regions fire normally and every firing produces
+//!   poisoned results.
+//! * **Throttling** faults ([`FaultKind::DegradedLink`]) block affected
+//!   regions only on the fraction of cycles the link can no longer serve
+//!   (`100 - capacity` percent): throughput degrades gracefully, and the
+//!   watchdog only trips when capacity is so low that the blocked runs
+//!   reach its bound — mild degradation rides through undetected.
 //!
 //! # Online detection
 //!
@@ -80,6 +88,14 @@ pub struct RuntimeConfig {
     /// How many periodic checkpoints the ring retains (a baseline taken
     /// at construction is always kept in addition).
     pub checkpoint_ring: usize,
+    /// Run the result-residue check *every* cycle instead of only at
+    /// interval boundaries and run end. The interval-boundary assumption
+    /// models a residue unit that only publishes at checkpoint epochs;
+    /// eager mode models one on the result bus, dropping corruption
+    /// detection latency from ≤ `residue_interval` to a few cycles at the
+    /// cost of checking each cycle. Detection latency never exceeds the
+    /// non-eager bound (regression-tested).
+    pub residue_eager: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -89,6 +105,7 @@ impl Default for RuntimeConfig {
             residue_interval: 256,
             checkpoint_interval: 256,
             checkpoint_ring: 8,
+            residue_eager: false,
         }
     }
 }
@@ -324,7 +341,12 @@ impl RuntimeSim {
             self.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
         let victim = match timed.kind {
-            FaultKind::SeveredLink => {
+            // Link- and port-scoped kinds strike a routed edge: the port
+            // is identified by the edge occupying it.
+            FaultKind::SeveredLink
+            | FaultKind::DeadPort
+            | FaultKind::StuckLane
+            | FaultKind::DegradedLink { .. } => {
                 let edges: BTreeSet<EdgeId> =
                     self.schedule.routes.values().flatten().copied().collect();
                 pick(&mut rng, &edges).map(FaultTarget::Edge)
@@ -565,10 +587,20 @@ impl RuntimeSim {
                 if f.consumed || !f.timed.active_at(next_cycle) {
                     continue;
                 }
-                let effect = if is_blocking(f.timed.kind) {
-                    Effect::Blocked
-                } else {
-                    Effect::Poisoned
+                let effect = match f.timed.kind {
+                    // A degraded link throttles: it still serves
+                    // `capacity` percent of cycles and blocks the rest.
+                    // Short blocked runs reset the watchdog, so mild
+                    // degradation is a graceful slowdown, not a detection.
+                    FaultKind::DegradedLink { capacity } => {
+                        let cap = u64::from(capacity.clamp(1, 100));
+                        if next_cycle % 100 < cap {
+                            continue;
+                        }
+                        Effect::Blocked
+                    }
+                    k if is_blocking(k) => Effect::Blocked,
+                    _ => Effect::Poisoned,
                 };
                 for &ri in &f.regions {
                     if !self.core.region_live(ctx!(self), ri) {
@@ -628,8 +660,11 @@ impl RuntimeSim {
                 )));
             }
 
-            // ---- periodic residue check.
-            if self.rt.residue_interval > 0 && wall.is_multiple_of(self.rt.residue_interval) {
+            // ---- residue check: every cycle in eager mode, else at
+            // interval boundaries (and once at run end, above).
+            let residue_due = self.rt.residue_eager
+                || (self.rt.residue_interval > 0 && wall.is_multiple_of(self.rt.residue_interval));
+            if residue_due {
                 if let Some(fault) = self.residue_check() {
                     return Some(StepOutcome::Detected(Box::new(fault)));
                 }
@@ -718,9 +753,11 @@ impl RuntimeSim {
 }
 
 /// Whether a fault kind stops data movement (watchdog-detectable) rather
-/// than corrupting it silently.
+/// than corrupting it silently. [`FaultKind::DegradedLink`] counts as
+/// blocking for watchdog bookkeeping, but only blocks on the cycles the
+/// link cannot serve (see the effect loop in `step`).
 fn is_blocking(kind: FaultKind) -> bool {
-    !matches!(kind, FaultKind::StuckSwitch)
+    !matches!(kind, FaultKind::StuckSwitch | FaultKind::StuckLane)
 }
 
 /// Deterministically picks one element of an ordered set.
@@ -923,6 +960,127 @@ mod tests {
         let report = sim.report();
         assert_eq!(report.firings, plain.firings, "all work still completes");
         assert!(report.cycles >= plain.cycles);
+    }
+
+    #[test]
+    fn dead_port_is_watchdog_detected_with_edge_victim() {
+        let (adg, ck, sch, ev) = fixture(4096);
+        let faults =
+            FaultSchedule::new(21).with(100, FaultLifetime::Permanent, FaultKind::DeadPort);
+        let mut sim = runtime(&adg, &ck, &sch, &ev, &faults);
+        match sim.run_until_event() {
+            StepOutcome::Detected(f) => {
+                assert_eq!(f.kind, FaultKind::DeadPort);
+                assert_eq!(f.detector, Detector::Watchdog);
+                assert!(matches!(f.victim, FaultTarget::Edge(_)), "{f}");
+                assert!(
+                    f.detection_latency() <= RuntimeConfig::default().watchdog_bound,
+                    "latency {} exceeds bound",
+                    f.detection_latency()
+                );
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stuck_lane_is_residue_detected() {
+        let (adg, ck, sch, ev) = fixture(4096);
+        let faults =
+            FaultSchedule::new(17).with(100, FaultLifetime::Permanent, FaultKind::StuckLane);
+        let mut sim = runtime(&adg, &ck, &sch, &ev, &faults);
+        match sim.run_until_event() {
+            StepOutcome::Detected(f) => {
+                assert_eq!(f.kind, FaultKind::StuckLane);
+                assert_eq!(f.detector, Detector::Residue);
+                assert!(matches!(f.victim, FaultTarget::Edge(_)), "{f}");
+                assert!(
+                    f.detection_latency() <= RuntimeConfig::default().residue_interval,
+                    "latency {} exceeds interval",
+                    f.detection_latency()
+                );
+                assert!(sim.poisoned_total() > 0);
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mildly_degraded_link_slows_the_run_without_detection() {
+        let (adg, ck, sch, ev) = fixture(2048);
+        let plain = try_simulate(&adg, &ck, &sch, &ev, 0, &SimConfig::default()).unwrap();
+        // 60% capacity blocks runs of 40 consecutive cycles — below the
+        // 64-cycle watchdog bound, so the run completes slower but clean.
+        let faults = FaultSchedule::new(13).with(
+            100,
+            FaultLifetime::Permanent,
+            FaultKind::DegradedLink { capacity: 60 },
+        );
+        let mut sim = runtime(&adg, &ck, &sch, &ev, &faults);
+        assert_eq!(sim.run_until_event(), StepOutcome::Finished);
+        let report = sim.report();
+        assert_eq!(report.firings, plain.firings, "all work still completes");
+        assert!(
+            report.cycles >= plain.cycles,
+            "throttled run cannot be faster: {} < {}",
+            report.cycles,
+            plain.cycles
+        );
+        assert_eq!(sim.poisoned_total(), 0, "throttling never corrupts");
+    }
+
+    #[test]
+    fn severely_degraded_link_trips_the_watchdog() {
+        let (adg, ck, sch, ev) = fixture(4096);
+        // 10% capacity blocks runs of 90 consecutive cycles — past the
+        // 64-cycle bound, so the watchdog reports it like a dead link.
+        let faults = FaultSchedule::new(13).with(
+            100,
+            FaultLifetime::Permanent,
+            FaultKind::DegradedLink { capacity: 10 },
+        );
+        let mut sim = runtime(&adg, &ck, &sch, &ev, &faults);
+        match sim.run_until_event() {
+            StepOutcome::Detected(f) => {
+                assert!(matches!(f.kind, FaultKind::DegradedLink { capacity: 10 }), "{f}");
+                assert_eq!(f.detector, Detector::Watchdog);
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eager_residue_detects_faster_and_within_the_documented_bound() {
+        let (adg, ck, sch, ev) = fixture(4096);
+        let faults =
+            FaultSchedule::new(9).with(100, FaultLifetime::Permanent, FaultKind::StuckSwitch);
+        let lat = |eager: bool| {
+            let rt = RuntimeConfig {
+                residue_eager: eager,
+                ..RuntimeConfig::default()
+            };
+            let mut sim = RuntimeSim::new(
+                &adg, &ck, &sch, &ev, 0, SimConfig::default(), rt, &faults,
+            )
+            .unwrap();
+            match sim.run_until_event() {
+                StepOutcome::Detected(f) => {
+                    assert_eq!(f.detector, Detector::Residue);
+                    f.detection_latency()
+                }
+                other => panic!("expected detection, got {other:?}"),
+            }
+        };
+        let interval_latency = lat(false);
+        let eager_latency = lat(true);
+        // Regression: the documented bound holds in both modes, and eager
+        // mode is never slower than interval mode.
+        assert!(interval_latency <= RuntimeConfig::default().residue_interval);
+        assert!(eager_latency <= interval_latency, "{eager_latency} > {interval_latency}");
+        assert!(
+            eager_latency <= 2,
+            "eager residue must detect within a couple of cycles, got {eager_latency}"
+        );
     }
 
     #[test]

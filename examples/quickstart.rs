@@ -48,7 +48,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &compiled.eval,
         compiled.config_path_len,
         &dsagen::sim::SimConfig::default(),
-    );
+    )
+    .expect("quickstart schedule simulates");
     let err = (report.cycles as f64 - compiled.perf.cycles).abs() / report.cycles as f64;
     println!(
         "simulated       : {} cycles (IPC {:.2}), model error {:.1}%",

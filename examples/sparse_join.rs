@@ -18,7 +18,8 @@ fn run_on(adg: &Adg, kernel: &dsagen::dfg::Kernel) -> (u64, bool, u16) {
         &compiled.eval,
         compiled.config_path_len,
         &SimConfig::default(),
-    );
+    )
+    .expect("join always simulates");
     (
         report.cycles,
         compiled.version.config.stream_join,

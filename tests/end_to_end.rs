@@ -25,7 +25,8 @@ fn compile_and_sim(adg: &Adg, kernel: &dsagen::dfg::Kernel) -> (dsagen::Compiled
         &compiled.eval,
         compiled.config_path_len,
         &SimConfig::default(),
-    );
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, adg.name()));
     (compiled, report.cycles)
 }
 

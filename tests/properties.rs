@@ -577,3 +577,156 @@ proptest! {
         prop_assert_eq!(&from_snapshot, &plain);
     }
 }
+
+proptest! {
+    // Masked-repair properties: each case builds schedules on masked
+    // fabrics, so keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Port-level repair is a *refinement* of node decommission: the
+    /// port-masked fabric keeps strictly more hardware than the
+    /// node-masked one, so any schedule that is legal after
+    /// decommissioning a link's endpoint must still evaluate feasible on
+    /// the fabric that only masked the link. (This is why the ladder may
+    /// try the cheap rung first: it can never be *less* repairable.)
+    #[test]
+    fn port_mask_repair_refines_node_decommission(
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        use dsagen::dfg::{compile_kernel, TransformConfig};
+        use dsagen::scheduler::{
+            evaluate, schedule, CapabilityMask, Problem, SchedulerConfig, Weights,
+        };
+
+        let adg = presets::softbrain();
+        let kernel = dsagen::workloads::polybench::mvt();
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+
+        // Pick a maskable link: both the port mask (edge only) and the
+        // node mask (edge's dst) must structurally validate.
+        let candidates: Vec<_> = adg
+            .edges()
+            .filter(|e| {
+                let port = CapabilityMask::new().with_edge(e.id());
+                let node = CapabilityMask::new().with_node(e.dst);
+                port.apply(&adg).is_ok() && node.apply(&adg).is_ok()
+            })
+            .map(|e| (e.id(), e.dst))
+            .collect();
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let (eid, dst) = candidates[(pick as usize) % candidates.len()];
+
+        let node_masked = CapabilityMask::new().with_node(dst).apply(&adg).expect("validated");
+        let port_masked = CapabilityMask::new().with_edge(eid).apply(&adg).expect("validated");
+
+        let cfg = SchedulerConfig { max_iters: 60, seed, ..SchedulerConfig::default() };
+        let under_node = schedule(&node_masked, &ck, &cfg);
+        if !under_node.is_legal() {
+            // The decommissioned fabric may genuinely be too small; the
+            // refinement claim is vacuous for this draw.
+            return Ok(());
+        }
+
+        let problem = Problem::new(&port_masked, &ck);
+        let eval = evaluate(&problem, &under_node.schedule, &Weights::default());
+        prop_assert!(
+            eval.feasible,
+            "schedule legal without the node must stay feasible with only the port masked"
+        );
+    }
+}
+
+proptest! {
+    // Each case runs several cycle-accurate timelines through the
+    // degraded rung; keep the count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Checkpoint/restore identity across a degraded-mode resume: on a
+    /// saturated fabric (decommission is never feasible) a permanent
+    /// fault forces the degraded rung, which resumes from the checkpoint
+    /// ring. The run must terminate typed, lose no work versus the
+    /// fault-free baseline, and replay bit-identically — for arbitrary
+    /// fault seeds and arrival points.
+    #[test]
+    fn degraded_mode_resume_preserves_checkpoint_identity(
+        seed in any::<u64>(),
+        arrival_num in 1u64..8,
+    ) {
+        use dsagen::adg::{PeSpec, Scheduling, Sharing};
+        use dsagen::faults::{FaultKind, FaultLifetime, FaultSchedule};
+        use dsagen::sim::{
+            run_with_degradation, try_simulate, RecoveryAction, RecoveryPolicy, SimConfig,
+        };
+        use dsagen::dfg::{
+            compile_kernel, AffineExpr, KernelBuilder, MemClass, TransformConfig, TripCount,
+        };
+        use dsagen::scheduler::{schedule, SchedulerConfig};
+
+        let pe = PeSpec::new(
+            Scheduling::Static,
+            Sharing::Dedicated,
+            OpSet::integer_alu().union(OpSet::integer_mul()),
+        );
+        let adg = presets::mesh(&presets::MeshConfig::new("prop-tiny", 1, 2, pe));
+        let mut k = KernelBuilder::new("prop-dot");
+        let a = k.array("a", BitWidth::B64, 512, MemClass::MainMemory);
+        let b = k.array("b", BitWidth::B64, 512, MemClass::MainMemory);
+        let c = k.array("c", BitWidth::B64, 1, MemClass::MainMemory);
+        let mut r = k.region("body", 1.0);
+        let i = r.for_loop(TripCount::fixed(512), true);
+        let va = r.load(a, AffineExpr::var(i));
+        let vb = r.load(b, AffineExpr::var(i));
+        let p = r.bin(Opcode::Mul, va, vb);
+        let acc = r.reduce(Opcode::Add, p, i);
+        r.store(c, AffineExpr::constant(0), acc);
+        k.finish_region(r);
+        let kernel = k.build().expect("dot builds");
+        let ck = compile_kernel(&kernel, &TransformConfig::fallback(), &adg.features())
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let s = schedule(&adg, &ck, &SchedulerConfig::default());
+        if !s.is_legal() {
+            return Ok(());
+        }
+
+        let sim_cfg = SimConfig::default();
+        let plain = try_simulate(&adg, &ck, &s.schedule, &s.eval, 0, &sim_cfg)
+            .map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        // Strike strictly inside the run so the checkpoint ring has
+        // state to resume from.
+        let arrival = (plain.cycles * arrival_num / 8).max(1);
+        let faults = FaultSchedule::new(seed)
+            .with(arrival, FaultLifetime::Permanent, FaultKind::DeadPe);
+
+        let policy = RecoveryPolicy::default();
+        let tel = dsagen::telemetry::Telemetry::disabled();
+        let run = || {
+            run_with_degradation(
+                &adg, &ck, &s.schedule, &s.eval, 0, &sim_cfg, &faults, &policy, &tel,
+            )
+        };
+        let out = run().map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        let report = out.report();
+        // The fault may land after the run finished (late arrival_num on
+        // short runs); when it strikes, the saturated fabric forces the
+        // degraded rung.
+        if !report.events.is_empty() {
+            prop_assert!(out.is_degraded(), "saturated fabric must degrade, got {}", out);
+            let rescheduled = matches!(
+                report.events[0].action,
+                RecoveryAction::DegradedReschedule { .. }
+            );
+            prop_assert!(rescheduled, "first event must be a degraded reschedule");
+            let ratio = out.throughput_ratio();
+            prop_assert!(ratio > 0.0 && ratio <= 1.0, "ratio {}", ratio);
+        }
+        prop_assert_eq!(&report.report.firings, &plain.firings);
+
+        // Bit-identical replay: checkpoint capture + restore is pure.
+        let again = run().map_err(|e| proptest::test_runner::TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(out, again);
+    }
+}

@@ -59,7 +59,8 @@ fn check_conservation(adg: &Adg, compiled: &dsagen::Compiled) -> SimTelemetry {
         &compiled.eval,
         compiled.config_path_len,
         &cfg,
-    );
+    )
+    .expect("healthy fabric simulates");
     let tel = Telemetry::in_memory();
     let (report, hw) = simulate_instrumented(
         adg,
@@ -69,7 +70,8 @@ fn check_conservation(adg: &Adg, compiled: &dsagen::Compiled) -> SimTelemetry {
         compiled.config_path_len,
         &cfg,
         &tel,
-    );
+    )
+    .expect("healthy fabric simulates");
 
     // Invisibility: the instrumented run returns the plain report.
     assert_eq!(report, plain, "instrumentation changed the simulation");
@@ -217,13 +219,10 @@ fn attribution_report_joins_model_and_simulation() {
         dsagen::workloads::machsuite::mm(),
     ] {
         let compiled = dsagen::compile_traced(&adg, &kernel, &opts, &tel).expect("compiles");
-        rows.push(attribute(
-            &adg,
-            &kernel.name,
-            &compiled,
-            &SimConfig::default(),
-            &tel,
-        ));
+        rows.push(
+            attribute(&adg, &kernel.name, &compiled, &SimConfig::default(), &tel)
+                .expect("healthy fabric simulates"),
+        );
     }
     for row in &rows {
         assert!(row.measured_cycles > 0);
@@ -359,10 +358,19 @@ proptest! {
                 let plain_report = simulate(
                     &adg, &p.version, &p.schedule, &p.eval, p.config_path_len, &cfg,
                 );
-                let (traced_report, _) = simulate_instrumented(
+                let traced_result = simulate_instrumented(
                     &adg, &t.version, &t.schedule, &t.eval, t.config_path_len, &cfg, &tel,
                 );
-                prop_assert_eq!(traced_report, plain_report);
+                match (plain_report, traced_result) {
+                    (Ok(pr), Ok((tr, _))) => prop_assert_eq!(tr, pr),
+                    (Err(pe), Err(te)) => prop_assert_eq!(format!("{te}"), format!("{pe}")),
+                    (pr, tr) => prop_assert!(
+                        false,
+                        "sim divergence: plain {:?} vs traced {:?}",
+                        pr.is_ok(),
+                        tr.is_ok()
+                    ),
+                }
             }
             (Err(p), Err(t)) => prop_assert_eq!(format!("{t}"), format!("{p}")),
             (p, t) => prop_assert!(false, "divergence: plain {:?} vs traced {:?}", p.is_ok(), t.is_ok()),
