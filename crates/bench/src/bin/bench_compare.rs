@@ -1,0 +1,232 @@
+//! bench_compare — regression gate for committed BENCH artifacts.
+//!
+//! Diffs a freshly generated benchmark JSON against the committed copy and
+//! fails (exit 1) when recovery quality regressed by more than 25%:
+//!
+//! * **MTTR** — a preset/row whose mean time to repair grew past 1.25× the
+//!   committed value.
+//! * **Throughput ratio** — a degraded-mode surviving-throughput fraction
+//!   that fell below 0.75× the committed value.
+//!
+//! The artifact kind (soak vs recovery) is sniffed from the document shape,
+//! so CI invokes one binary for both gates:
+//!
+//! ```text
+//! cargo run --release -p dsagen-bench --bin bench_compare -- \
+//!     BENCH_soak.json /tmp/fresh_soak.json
+//! ```
+//!
+//! Committed artifacts may predate newer emitters, so every field is
+//! optional on the committed side: a metric absent from the committed file
+//! (e.g. `full_reschedules` from before rung histograms existed) is
+//! reported as informational, never a failure. Comparisons with a
+//! committed value below 1.0 (cycle metrics) are skipped — a 25% band
+//! around ~zero is noise, not a gate.
+
+use std::process::ExitCode;
+
+use dsagen_bench::json::{parse, JsonValue};
+
+/// Regression band: fail when fresh MTTR exceeds 1.25× committed, or a
+/// fresh throughput ratio falls below 0.75× committed.
+const TOLERANCE: f64 = 0.25;
+
+/// One metric comparison: `worse` is +fraction regressed (0 = identical).
+struct Check {
+    label: String,
+    committed: f64,
+    fresh: f64,
+    worse: f64,
+}
+
+impl Check {
+    fn failed(&self) -> bool {
+        self.worse > TOLERANCE
+    }
+}
+
+/// MTTR-style metric: larger is worse.
+fn check_larger_is_worse(label: String, committed: f64, fresh: f64) -> Option<Check> {
+    if committed < 1.0 {
+        return None; // ~zero baseline: a relative band is meaningless
+    }
+    Some(Check {
+        label,
+        committed,
+        fresh,
+        worse: (fresh - committed) / committed,
+    })
+}
+
+/// Throughput-ratio-style metric: smaller is worse.
+fn check_smaller_is_worse(label: String, committed: f64, fresh: f64) -> Option<Check> {
+    if committed <= 0.0 {
+        return None;
+    }
+    Some(Check {
+        label,
+        committed,
+        fresh,
+        worse: (committed - fresh) / committed,
+    })
+}
+
+fn num(v: &JsonValue, key: &str) -> Option<f64> {
+    v.get(key).and_then(JsonValue::as_f64)
+}
+
+fn str_of<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key).and_then(JsonValue::as_str).unwrap_or("?")
+}
+
+/// Soak artifact: per-preset storm aggregates keyed by preset name.
+fn compare_soak(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    let committed_presets = committed.get("presets").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let fresh_presets = fresh.get("presets").and_then(JsonValue::as_array).unwrap_or(&[]);
+    for c in committed_presets {
+        let name = str_of(c, "preset");
+        let Some(f) = fresh_presets.iter().find(|f| str_of(f, "preset") == name) else {
+            println!("note: preset {name} present in committed but not fresh — skipped");
+            continue;
+        };
+        if let (Some(cm), Some(fm)) = (num(c, "mean_mttr_cycles"), num(f, "mean_mttr_cycles")) {
+            checks.extend(check_larger_is_worse(format!("{name} mean_mttr_cycles"), cm, fm));
+        }
+        if let (Some(cr), Some(fr)) =
+            (num(c, "mean_throughput_ratio"), num(f, "mean_throughput_ratio"))
+        {
+            checks.extend(check_smaller_is_worse(
+                format!("{name} mean_throughput_ratio"),
+                cr,
+                fr,
+            ));
+        }
+    }
+    // Informational only: the committed artifact may predate this counter.
+    match (num(committed, "full_reschedules"), num(fresh, "full_reschedules")) {
+        (Some(c), Some(f)) => println!("info: full_reschedules committed {c:.0} -> fresh {f:.0}"),
+        (None, Some(f)) => println!("info: full_reschedules fresh {f:.0} (no committed baseline)"),
+        _ => {}
+    }
+}
+
+/// Recovery artifact: per (preset, kernel) transient MTTR and permanent
+/// throughput ratio / MTTR.
+fn compare_recovery(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    let committed_rows = committed.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let fresh_rows = fresh.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
+    for c in committed_rows {
+        let key = (str_of(c, "preset"), str_of(c, "kernel"));
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|f| (str_of(f, "preset"), str_of(f, "kernel")) == key)
+        else {
+            println!("note: row {}/{} present in committed but not fresh — skipped", key.0, key.1);
+            continue;
+        };
+        let tag = format!("{}/{}", key.0, key.1);
+        if let (Some(ct), Some(ft)) = (c.get("transient"), f.get("transient")) {
+            if let (Some(cm), Some(fm)) = (num(ct, "mttr_cycles"), num(ft, "mttr_cycles")) {
+                checks.extend(check_larger_is_worse(format!("{tag} transient mttr"), cm, fm));
+            }
+        }
+        if let (Some(cp), Some(fp)) = (c.get("permanent"), f.get("permanent")) {
+            let both_recovered = cp.get("recovered").and_then(JsonValue::as_bool) == Some(true)
+                && fp.get("recovered").and_then(JsonValue::as_bool) == Some(true);
+            if both_recovered {
+                if let (Some(cr), Some(fr)) =
+                    (num(cp, "throughput_ratio"), num(fp, "throughput_ratio"))
+                {
+                    checks.extend(check_smaller_is_worse(
+                        format!("{tag} permanent throughput_ratio"),
+                        cr,
+                        fr,
+                    ));
+                }
+                if let (Some(cm), Some(fm)) = (num(cp, "mttr_cycles"), num(fp, "mttr_cycles")) {
+                    checks.extend(check_larger_is_worse(format!("{tag} permanent mttr"), cm, fm));
+                }
+            } else if cp.get("recovered").and_then(JsonValue::as_bool) == Some(true)
+                && fp.get("recovered").and_then(JsonValue::as_bool) == Some(false)
+            {
+                // A pair that used to recover and no longer does is a hard
+                // regression regardless of any ratio band.
+                checks.push(Check {
+                    label: format!("{tag} permanent recovered -> typed failure"),
+                    committed: 1.0,
+                    fresh: 0.0,
+                    worse: 1.0,
+                });
+            }
+        }
+    }
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, committed_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_compare <committed.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Sniff the artifact kind: soak files carry per-preset aggregates,
+    // recovery files carry a transient/permanent split per row.
+    let kind = if committed.get("presets").is_some() || fresh.get("presets").is_some() {
+        "soak"
+    } else {
+        "recovery"
+    };
+    println!("bench_compare: {kind} | committed {committed_path} vs fresh {fresh_path}");
+
+    let mut checks = Vec::new();
+    if kind == "soak" {
+        compare_soak(&committed, &fresh, &mut checks);
+    } else {
+        compare_recovery(&committed, &fresh, &mut checks);
+    }
+
+    if checks.is_empty() {
+        eprintln!("bench_compare: no comparable metrics found — schema mismatch?");
+        return ExitCode::from(2);
+    }
+
+    let mut failures = 0usize;
+    for check in &checks {
+        let verdict = if check.failed() { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:>4}  {:<44} committed {:>9.3} fresh {:>9.3} ({:+.1}%)",
+            check.label,
+            check.committed,
+            check.fresh,
+            100.0 * check.worse,
+        );
+        failures += usize::from(check.failed());
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench_compare: {failures}/{} metrics regressed beyond {:.0}%",
+            checks.len(),
+            100.0 * TOLERANCE
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "bench_compare: all {} metrics within {:.0}% of committed",
+        checks.len(),
+        100.0 * TOLERANCE
+    );
+    ExitCode::SUCCESS
+}

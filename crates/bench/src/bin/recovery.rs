@@ -58,6 +58,10 @@ struct PermanentOutcome {
     repaired: bool,
     degraded: bool,
     throughput_ratio: f64,
+    /// Resolving-rung label of the recovery event (`RecoveryAction::label`).
+    rung: String,
+    /// Cycles domain-sliced rollback preserved instead of replaying.
+    saved: u64,
 }
 
 fn fixtures() -> Vec<(&'static str, Adg)> {
@@ -139,6 +143,11 @@ fn bench_one(preset: &'static str, adg: &Adg, kernel: &dsagen_dfg::Kernel) -> Op
                 repaired,
                 degraded: rep.degraded,
                 throughput_ratio: rep.throughput_ratio.unwrap_or(1.0),
+                rung: rep
+                    .events
+                    .first()
+                    .map_or_else(|| "none".to_string(), |e| e.action.label().to_string()),
+                saved: rep.replayed_cycles_saved(),
             })
         }
         Err(_typed) => None, // typed failure is an accepted outcome
@@ -167,8 +176,10 @@ fn to_json(rows: &[Row]) -> String {
             Some(p) => format!(
                 "{{\"recovered\": true, \"repaired\": {}, \"degraded\": {}, \
 \"throughput_ratio\": {:.4}, \"detect_cycles\": {}, \
-\"mttr_cycles\": {:.1}, \"overhead\": {:.4}}}",
-                p.repaired, p.degraded, p.throughput_ratio, p.detect, p.mttr, p.overhead
+\"mttr_cycles\": {:.1}, \"overhead\": {:.4}, \"rung\": {:?}, \
+\"replayed_saved_cycles\": {}}}",
+                p.repaired, p.degraded, p.throughput_ratio, p.detect, p.mttr, p.overhead,
+                p.rung, p.saved
             ),
             None => "{\"recovered\": false}".to_string(),
         };
@@ -200,12 +211,12 @@ fn main() {
     println!(
         "seed {SEED:#x}, transient outage {TRANSIENT_CYCLES} cycles, permanent = decommission + repair"
     );
-    rule(96);
+    rule(103);
     println!(
-        "{:>10} {:>12} {:>10} {:>8} {:>9} {:>9} | {:>10} {:>9} {:>9}",
+        "{:>10} {:>12} {:>10} {:>8} {:>9} {:>9} | {:>17} {:>9} {:>9}",
         "preset", "kernel", "cycles", "t-det", "t-mttr", "t-ovhd", "perm", "p-mttr", "p-ovhd"
     );
-    rule(96);
+    rule(103);
 
     let mut rows = Vec::new();
     let mut skipped = 0usize;
@@ -215,20 +226,14 @@ fn main() {
                 Some(r) => {
                     let (perm, p_mttr, p_ovhd) = match &r.p_outcome {
                         Some(p) => (
-                            if p.degraded {
-                                "degraded"
-                            } else if p.repaired {
-                                "repaired"
-                            } else {
-                                "rollback"
-                            },
+                            p.rung.clone(),
                             format!("{:.0}", p.mttr),
                             format!("{:+.1}%", 100.0 * p.overhead),
                         ),
-                        None => ("typed-err", "-".to_string(), "-".to_string()),
+                        None => ("typed-err".to_string(), "-".to_string(), "-".to_string()),
                     };
                     println!(
-                        "{:>10} {:>12} {:>10} {:>8} {:>9.0} {:>8.1}% | {:>10} {:>9} {:>9}",
+                        "{:>10} {:>12} {:>10} {:>8} {:>9.0} {:>8.1}% | {:>17} {:>9} {:>9}",
                         r.preset,
                         r.kernel,
                         r.fault_free_cycles,
@@ -245,7 +250,7 @@ fn main() {
             }
         }
     }
-    rule(96);
+    rule(103);
 
     // Sanity contract: every transient fault was detected within the
     // watchdog bound and recovered; permanent faults either repaired or

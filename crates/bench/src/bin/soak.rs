@@ -16,10 +16,14 @@
 //!   reproduce the identical outcome.
 //!
 //! Reported per triple: storm size, recovery events, max detection
-//! latency, MTTR, and the surviving throughput fraction. A
-//! machine-readable copy (per-preset MTTR, degraded-throughput ratio,
-//! storms survived) is written as JSON (first CLI argument, default
-//! `BENCH_soak.json`) for the CI artifact upload.
+//! latency, MTTR, replay cycles saved by domain-sliced rollback, and the
+//! surviving throughput fraction — plus the resolving-rung histogram per
+//! triple and for the whole sweep (how often each ladder rung, including
+//! the new partial-replace rung and the last-resort full reschedule,
+//! actually resolved a fault) and recovery counts per afflicted domain.
+//! A machine-readable copy (per-preset MTTR, degraded-throughput ratio,
+//! storms survived, rung histogram) is written as JSON (first CLI
+//! argument, default `BENCH_soak.json`) for the CI artifact upload.
 //!
 //! Run with: `cargo run --release -p dsagen-bench --bin soak`
 
@@ -58,6 +62,14 @@ struct Row {
     mttr: f64,
     degraded: bool,
     throughput_ratio: f64,
+    /// How many recoveries resolved at each ladder rung
+    /// (`RecoveryAction::label` keys; `full-reschedule` = degraded rung).
+    rungs: std::collections::BTreeMap<&'static str, usize>,
+    /// Recovery events per afflicted domain (`"none"` = idle-hardware
+    /// victims).
+    by_domain: std::collections::BTreeMap<String, usize>,
+    /// Cycles domain-sliced rollbacks preserved instead of replaying.
+    saved: u64,
 }
 
 fn fixtures() -> Vec<(&'static str, Adg)> {
@@ -113,12 +125,13 @@ fn main() {
         StormConfig::default().bursts,
         StormConfig::default().burst_size,
     );
-    rule(100);
+    rule(108);
     println!(
-        "{:>10} {:>10} {:>10} {:>6} {:>7} {:>8} {:>9} {:>10} {:>7}",
-        "preset", "kernel", "seed", "storm", "events", "max-det", "mttr", "outcome", "ratio"
+        "{:>10} {:>10} {:>10} {:>6} {:>7} {:>8} {:>9} {:>7} {:>10} {:>7}",
+        "preset", "kernel", "seed", "storm", "events", "max-det", "mttr", "saved", "outcome",
+        "ratio"
     );
-    rule(100);
+    rule(108);
 
     let mut rows: Vec<Row> = Vec::new();
     let mut aborted = 0usize;
@@ -180,6 +193,14 @@ fn main() {
                     "{preset}/{} seed {seed:#x}: storm run lost work",
                     kernel.name
                 );
+                let mut by_domain: std::collections::BTreeMap<String, usize> =
+                    std::collections::BTreeMap::new();
+                for e in &report.events {
+                    let key = e
+                        .domain
+                        .map_or_else(|| "none".to_string(), |d| d.to_string());
+                    *by_domain.entry(key).or_insert(0) += 1;
+                }
                 let row = Row {
                     preset,
                     kernel: kernel.name.clone(),
@@ -195,9 +216,12 @@ fn main() {
                     mttr: report.mttr_cycles(),
                     degraded: out.is_degraded(),
                     throughput_ratio: out.throughput_ratio(),
+                    rungs: report.rung_histogram(),
+                    by_domain,
+                    saved: report.replayed_cycles_saved(),
                 };
                 println!(
-                    "{:>10} {:>10} {:>#10x} {:>6} {:>7} {:>8} {:>9.0} {:>10} {:>6.1}%",
+                    "{:>10} {:>10} {:>#10x} {:>6} {:>7} {:>8} {:>9.0} {:>7} {:>10} {:>6.1}%",
                     row.preset,
                     row.kernel,
                     row.seed,
@@ -205,6 +229,7 @@ fn main() {
                     row.events,
                     row.max_detect,
                     row.mttr,
+                    row.saved,
                     if row.degraded { "degraded" } else { "recovered" },
                     100.0 * row.throughput_ratio,
                 );
@@ -254,7 +279,7 @@ past {prev:.3}",
             }
         }
     }
-    rule(100);
+    rule(108);
 
     let mut stats: Vec<(&'static str, PresetStats)> = Vec::new();
     for r in &rows {
@@ -291,6 +316,30 @@ mean throughput ratio {:.3}",
             s.ratio_sum / s.storms.max(1) as f64,
         );
     }
+    // Rung histogram across every recovery event in the sweep: the
+    // blast-radius headline is how rarely the last-resort whole-kernel
+    // reschedule fires.
+    let mut rung_histogram: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    let mut saved_total: u64 = 0;
+    for r in &rows {
+        for (label, n) in &r.rungs {
+            *rung_histogram.entry(label).or_insert(0) += n;
+        }
+        saved_total += r.saved;
+    }
+    let full_reschedules = rung_histogram.get("full-reschedule").copied().unwrap_or(0);
+    let rung_line = rung_histogram
+        .iter()
+        .map(|(label, n)| format!("{label}={n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "rungs: {} | {} full-kernel reschedules | {} replay cycles saved by scoped rollback",
+        if rung_line.is_empty() { "none" } else { &rung_line },
+        full_reschedules,
+        saved_total,
+    );
     println!(
         "{} triples ({} skipped: unmappable) | {} aborts | {} replay divergences | \
 {} monotonicity violations",
@@ -308,11 +357,21 @@ mean throughput ratio {:.3}",
     for (i, s) in seeds.iter().enumerate() {
         let _ = write!(json, "{}{}", s, if i + 1 < seeds.len() { ", " } else { "" });
     }
-    let _ = writeln!(
+    let _ = write!(
         json,
         "],\n  \"aborts\": {aborted},\n  \"replay_divergences\": {replay_divergences},\n  \
-\"monotonicity_violations\": {monotonic_violations},\n  \"presets\": ["
+\"monotonicity_violations\": {monotonic_violations},\n  \
+\"full_reschedules\": {full_reschedules},\n  \
+\"replayed_saved_cycles\": {saved_total},\n  \"rung_histogram\": {{"
     );
+    for (i, (label, n)) in rung_histogram.iter().enumerate() {
+        let _ = write!(
+            json,
+            "{}\"{label}\": {n}",
+            if i == 0 { "" } else { ", " }
+        );
+    }
+    json.push_str("},\n  \"presets\": [\n");
     for (i, (preset, s)) in stats.iter().enumerate() {
         let _ = writeln!(
             json,
@@ -329,11 +388,24 @@ mean throughput ratio {:.3}",
     }
     json.push_str("  ],\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let rungs = r
+            .rungs
+            .iter()
+            .map(|(label, n)| format!("\"{label}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let by_domain = r
+            .by_domain
+            .iter()
+            .map(|(d, n)| format!("\"{d}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         let _ = writeln!(
             json,
             "    {{\"preset\": {:?}, \"kernel\": {:?}, \"seed\": {}, \"storm_len\": {}, \
 \"events\": {}, \"max_detect_cycles\": {}, \"mttr_cycles\": {:.1}, \"degraded\": {}, \
-\"throughput_ratio\": {:.4}}}{}",
+\"throughput_ratio\": {:.4}, \"replayed_saved_cycles\": {}, \"rungs\": {{{rungs}}}, \
+\"events_by_domain\": {{{by_domain}}}}}{}",
             r.preset,
             r.kernel,
             r.seed,
@@ -343,6 +415,7 @@ mean throughput ratio {:.3}",
             r.mttr,
             r.degraded,
             r.throughput_ratio,
+            r.saved,
             if i + 1 < rows.len() { "," } else { "" },
         );
     }

@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
+
 use dsagen::{compile, Compiled, CompileOptions};
 use dsagen_adg::Adg;
 use dsagen_dfg::{CompiledKernel, Kernel, StreamSource};

@@ -114,6 +114,16 @@ pub struct ReliabilityMode {
     /// Recovered-throughput factor assigned to designs whose recovery
     /// *fails* (unrecoverable / verification / delivery failure).
     pub failure_factor: f64,
+    /// Blast-radius pressure in `[0, 1]`: the recovered-throughput factor
+    /// is additionally scaled by `(1 − blast_weight) + blast_weight ×
+    /// isolation`, where `isolation = (regions − max_domain_regions + 1) /
+    /// regions` from the mapping's [`dsagen_sim::RecoveryDomains`]. A
+    /// fully-coupled mapping (one domain) scores `isolation = 1/regions`;
+    /// fully-isolated (every region its own domain) and single-region
+    /// mappings score `1.0`. The scale is always ≤ 1, so blast pressure
+    /// can only shrink perceived performance — it rewards designs whose
+    /// worst-case recovery scope stays small.
+    pub blast_weight: f64,
 }
 
 impl Default for ReliabilityMode {
@@ -124,6 +134,7 @@ impl Default for ReliabilityMode {
             horizon: 4096,
             weight: 1.0,
             failure_factor: 0.05,
+            blast_weight: 0.25,
         }
     }
 }
@@ -872,7 +883,7 @@ impl Explorer {
             repair_attempts: 2,
             ..dsagen_sim::RecoveryPolicy::default()
         };
-        match dsagen_sim::run_with_degradation(
+        let raw = match dsagen_sim::run_with_degradation(
             &self.adg,
             version,
             sched,
@@ -895,7 +906,19 @@ impl Explorer {
                 }
             }
             Err(_) => mode.failure_factor.clamp(0.0, 1.0),
+        };
+        // Blast-radius pressure: scale by how well the mapping isolates
+        // faults. Deterministic in the same (adg, kernel, schedule)
+        // triple that keys the cache, so memoization stays sound.
+        let bw = mode.blast_weight.clamp(0.0, 1.0);
+        if bw <= 0.0 {
+            return raw;
         }
+        let doms = dsagen_sim::RecoveryDomains::derive(&self.adg, version, sched);
+        let regions = doms.region_count().max(1) as f64;
+        let worst = doms.max_domain_regions().max(1) as f64;
+        let isolation = (regions - worst + 1.0) / regions;
+        raw * ((1.0 - bw) + bw * isolation)
     }
 
     /// Deterministic opening trim (the paper's iteration 2: "the redundant
@@ -1451,6 +1474,44 @@ pub(crate) mod tests {
         let pn = Explorer::new(presets::dse_initial(), &small_kernels(), neutral_cfg).evaluate();
         assert_eq!(pn.perf, pc.perf, "weight=0 must not perturb the objective");
         assert_eq!(pn.objective, pc.objective);
+    }
+
+    #[test]
+    fn blast_radius_pressure_is_deterministic_and_only_shrinks_perf() {
+        let base = ReliabilityMode {
+            faults: 1,
+            horizon: 1024,
+            blast_weight: 0.0,
+            ..ReliabilityMode::default()
+        };
+        let pressured = ReliabilityMode {
+            blast_weight: 1.0,
+            ..base
+        };
+        let eval_with = |mode| {
+            Explorer::new(
+                presets::dse_initial(),
+                &small_kernels(),
+                DseConfig {
+                    reliability: Some(mode),
+                    ..serial_cfg()
+                },
+            )
+            .evaluate()
+        };
+        let plain = eval_with(base);
+        let blast = eval_with(pressured);
+        // The isolation scale is ≤ 1, so blast pressure can only shrink
+        // perceived performance, never inflate it.
+        assert!(
+            blast.perf <= plain.perf + 1e-9,
+            "blast-pressured perf {} exceeds unpressured perf {}",
+            blast.perf,
+            plain.perf
+        );
+        assert!(blast.objective.is_finite() && blast.objective >= 0.0);
+        let again = eval_with(pressured);
+        assert_eq!(blast.objective, again.objective, "blast scoring must be deterministic");
     }
 
     #[test]

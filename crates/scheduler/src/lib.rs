@@ -30,11 +30,12 @@ mod schedule;
 #[allow(clippy::module_inception)]
 mod scheduler;
 
-pub use mask::{repair_with_mask, CapabilityMask, MaskError};
+pub use mask::{repair_with_mask, repair_with_mask_scoped, CapabilityMask, MaskError};
 pub use objective::{evaluate, Evaluation, RegionEval, Weights, MEM_ROUNDTRIP};
 pub use problem::{op_rates, Entity, EntityKind, Problem, VirtEdge};
 pub use route::{delay_capacity, path_legal, route};
 pub use schedule::Schedule;
 pub use scheduler::{
-    repair, repair_with_escalation, schedule, RepairOutcome, ScheduleResult, SchedulerConfig,
+    repair, repair_regions, repair_regions_with_escalation, repair_with_escalation, schedule,
+    RepairOutcome, ScheduleResult, SchedulerConfig,
 };

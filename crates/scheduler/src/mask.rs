@@ -194,6 +194,43 @@ pub fn repair_with_mask(
     Ok((result, masked))
 }
 
+/// [`repair_with_mask`] scoped to a fault-isolation domain: applies `mask`
+/// and runs [`crate::repair_regions_with_escalation`] so that only the
+/// entities of `regions` may move — every other domain's placements and
+/// routes are pinned bit-identically. With `from_scratch` the afflicted
+/// regions are re-placed from nothing (the partial re-placement rung);
+/// without it the repair is incremental.
+///
+/// A mask that takes out hardware a *pinned* domain depends on makes the
+/// rung structurally infeasible and returns [`MaskError::Invalid`], so the
+/// ladder escalates instead of breaking the placement-diff contract.
+#[allow(clippy::too_many_arguments)] // mirrors `repair_with_mask` plus the scope
+pub fn repair_with_mask_scoped(
+    adg: &Adg,
+    kernel: &dsagen_dfg::CompiledKernel,
+    previous: &Schedule,
+    regions: &std::collections::BTreeSet<usize>,
+    cfg: &SchedulerConfig,
+    max_attempts: u32,
+    mask: &CapabilityMask,
+    from_scratch: bool,
+) -> Result<(ScheduleResult, Adg), MaskError> {
+    let masked = mask.apply(adg)?;
+    let result = crate::repair_regions_with_escalation(
+        &masked,
+        kernel,
+        previous,
+        regions,
+        from_scratch,
+        cfg,
+        max_attempts,
+    )
+    .ok_or_else(|| {
+        MaskError::Invalid("mask invalidates placements or routes pinned by other domains".into())
+    })?;
+    Ok((result, masked))
+}
+
 #[cfg(test)]
 mod tests {
     use dsagen_adg::{presets, BitWidth, Opcode};

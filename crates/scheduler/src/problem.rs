@@ -59,6 +59,18 @@ pub struct Entity {
     pub mem_class: Option<dsagen_dfg::MemClass>,
 }
 
+impl Entity {
+    /// The kernel region this entity belongs to.
+    #[must_use]
+    pub fn region(&self) -> usize {
+        match self.kind {
+            EntityKind::Op { region, .. }
+            | EntityKind::InPort { region, .. }
+            | EntityKind::OutPort { region, .. } => region,
+        }
+    }
+}
+
 /// A dependence between two entities that must be routed on the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VirtEdge {

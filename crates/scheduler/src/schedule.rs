@@ -5,7 +5,7 @@ use std::collections::BTreeMap;
 use dsagen_adg::{Adg, EdgeId, NodeId, NodeKind};
 use dsagen_dfg::StreamSource;
 
-use crate::{EntityKind, Problem};
+use crate::{Entity, EntityKind, Problem};
 
 /// A (possibly partial) mapping of a compiled kernel onto an ADG.
 ///
@@ -111,6 +111,39 @@ impl Schedule {
             cur == dst
         });
         dropped
+    }
+
+    /// Whether every placement and route *outside* `regions` is
+    /// bit-identical between `self` and `other` — the placement-diff
+    /// check behind the partial re-placement rung: a scoped repair may
+    /// touch only the afflicted domain, and untouched domains'
+    /// assignments must survive unchanged.
+    #[must_use]
+    pub fn agrees_outside(
+        &self,
+        problem: &Problem<'_>,
+        other: &Schedule,
+        regions: &std::collections::BTreeSet<usize>,
+    ) -> bool {
+        if self.placement.len() != other.placement.len() {
+            return false;
+        }
+        for (i, ent) in problem.entities.iter().enumerate() {
+            if !regions.contains(&ent.region()) && self.placement[i] != other.placement[i] {
+                return false;
+            }
+        }
+        for (idx, vedge) in problem.edges.iter().enumerate() {
+            let region = problem
+                .entities
+                .get(vedge.src)
+                .map(Entity::region)
+                .unwrap_or(usize::MAX);
+            if !regions.contains(&region) && self.routes.get(&idx) != other.routes.get(&idx) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Usage count per ADG edge across all routes.

@@ -207,6 +207,354 @@ pub fn repair_with_escalation(
     best.unwrap_or_else(|| repair(adg, kernel, previous.clone(), cfg))
 }
 
+/// Repairs `previous` against a (possibly masked) `adg` while touching
+/// **only** the entities of `regions` — every placement and route outside
+/// those regions is pinned bit-identically. This is the scheduling half of
+/// the partial re-placement recovery rung: the afflicted fault-isolation
+/// domain is re-placed while untouched domains keep their assignments (and
+/// therefore their timing).
+///
+/// With `from_scratch` the afflicted regions' placements and routes are
+/// dropped entirely before the search runs, giving the packer maximum
+/// freedom inside the domain; without it the repair is incremental (only
+/// hardware invalidated by `adg` is re-done).
+///
+/// Returns `None` when the fabric invalidates something *pinned* — the
+/// caller's mask took out hardware a non-afflicted domain depends on, so
+/// this rung is structurally infeasible and the ladder must escalate.
+#[must_use]
+pub fn repair_regions(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    previous: &Schedule,
+    regions: &std::collections::BTreeSet<usize>,
+    from_scratch: bool,
+    cfg: &SchedulerConfig,
+) -> Option<ScheduleResult> {
+    let problem = Problem::new(adg, kernel);
+    if previous.placement.len() != problem.entities.len() {
+        return None; // shape mismatch: nothing can be pinned meaningfully
+    }
+    let mut sched = previous.clone();
+    let routes_before = sched.routes.len();
+    let dropped = sched.invalidate_removed(&problem);
+    // Route semantics (stuck turns) re-checked exactly as `repair` does.
+    let placement = sched.placement.clone();
+    sched.routes.retain(|idx, path| {
+        problem
+            .edges
+            .get(*idx)
+            .and_then(|vedge| placement.get(vedge.src).copied().flatten())
+            .is_some_and(|src| crate::route::path_legal(adg, src, path))
+    });
+    let rerouted = routes_before.saturating_sub(sched.routes.len());
+    // The pins must have survived the fabric: if invalidation touched
+    // anything outside the afflicted regions, scoped repair cannot hold
+    // its contract.
+    if !sched.agrees_outside(&problem, previous, regions) {
+        return None;
+    }
+    let allowed: Vec<bool> = problem
+        .entities
+        .iter()
+        .map(|e| regions.contains(&e.region()))
+        .collect();
+    if from_scratch {
+        for (i, &movable) in allowed.iter().enumerate() {
+            if movable {
+                sched.unplace(&problem, i);
+            }
+        }
+    }
+    let outcome = if dropped == 0 && rerouted == 0 && !from_scratch {
+        RepairOutcome::Clean
+    } else {
+        RepairOutcome::Degraded { dropped, rerouted }
+    };
+    let mut result = run_scoped(&problem, sched, cfg, &allowed);
+    result.outcome = outcome;
+    Some(result)
+}
+
+/// [`repair_regions`] with the same bounded retry-with-escalation as
+/// [`repair_with_escalation`]: budget doubled and seed perturbed per
+/// attempt, first legal result wins, best illegal one returned when every
+/// attempt fails. `None` exactly when [`repair_regions`] pins cannot hold.
+#[must_use]
+pub fn repair_regions_with_escalation(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    previous: &Schedule,
+    regions: &std::collections::BTreeSet<usize>,
+    from_scratch: bool,
+    cfg: &SchedulerConfig,
+    max_attempts: u32,
+) -> Option<ScheduleResult> {
+    const ITER_CAP: u32 = 4096;
+    let mut best: Option<ScheduleResult> = None;
+    let mut iters = cfg.max_iters.max(1);
+    for attempt in 0..max_attempts.max(1) {
+        let attempt_cfg = SchedulerConfig {
+            max_iters: iters.min(ITER_CAP),
+            seed: cfg.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ..*cfg
+        };
+        let result = repair_regions(adg, kernel, previous, regions, from_scratch, &attempt_cfg)?;
+        let legal = result.is_legal();
+        let better = best
+            .as_ref()
+            .is_none_or(|b| result.eval.objective < b.eval.objective);
+        if legal || better {
+            best = Some(result);
+        }
+        if best.as_ref().is_some_and(ScheduleResult::is_legal) {
+            break;
+        }
+        if iters >= ITER_CAP {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    best
+}
+
+/// The improvement loop restricted to `allowed` entities: victims,
+/// re-placement, and rip-up only ever touch allowed entities and their
+/// (intra-region) routes, so everything else stays bit-identical to the
+/// starting schedule. With all entities allowed this degenerates to the
+/// same search as [`run`] (modulo RNG draw order).
+///
+/// Unlike [`run`], the incumbent here is tracked *feasibility-first*: a
+/// feasible schedule always beats an infeasible one, and the objective
+/// only breaks ties within the same feasibility class. Recovery rungs
+/// call this under full-fidelity weights, where a feasible-but-high-II
+/// mapping can cost more than an infeasible low-II one — pure
+/// cost-tracking would throw away the only mapping the rung is allowed
+/// to return.
+fn run_scoped(
+    problem: &Problem<'_>,
+    mut sched: Schedule,
+    cfg: &SchedulerConfig,
+    allowed: &[bool],
+) -> ScheduleResult {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let allowed_idx: Vec<usize> = (0..problem.entities.len())
+        .filter(|i| allowed[*i])
+        .collect();
+
+    // Initial completion: place every unplaced allowed entity greedily.
+    let unplaced: Vec<usize> = allowed_idx
+        .iter()
+        .copied()
+        .filter(|i| sched.placement[*i].is_none())
+        .collect();
+    for v in unplaced {
+        place_best(problem, &mut sched, v, cfg, &mut rng);
+    }
+    route_missing_scoped(problem, &mut sched, cfg, allowed);
+
+    let mut best_eval = evaluate(problem, &sched, &cfg.weights);
+    let mut best = sched.clone();
+    let mut stale = 0u32;
+    let mut iterations = 0u32;
+
+    if allowed_idx.is_empty() {
+        return ScheduleResult {
+            schedule: best,
+            eval: best_eval,
+            iterations,
+            outcome: RepairOutcome::Fresh,
+        };
+    }
+
+    for iter in 0..cfg.max_iters {
+        iterations = iter + 1;
+        let victims = pick_victims_scoped(problem, &sched, &mut rng, allowed, &allowed_idx);
+        for v in &victims {
+            sched.unplace(problem, *v);
+        }
+        for v in victims {
+            place_best(problem, &mut sched, v, cfg, &mut rng);
+        }
+        ripup_congested_scoped(problem, &mut sched, &mut rng, allowed);
+        route_missing_scoped(problem, &mut sched, cfg, allowed);
+
+        let eval = evaluate(problem, &sched, &cfg.weights);
+        let better = (eval.feasible && !best_eval.feasible)
+            || (eval.feasible == best_eval.feasible && eval.objective < best_eval.objective);
+        if better {
+            best_eval = eval;
+            best = sched.clone();
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale.is_multiple_of(10) {
+                sched = best.clone();
+            }
+        }
+        if best_eval.feasible && stale >= cfg.patience {
+            break;
+        }
+    }
+
+    ScheduleResult {
+        schedule: best,
+        eval: best_eval,
+        iterations,
+        outcome: RepairOutcome::Fresh,
+    }
+}
+
+/// [`route_missing`] restricted to routes whose virtual edge belongs to an
+/// allowed entity (virtual edges never cross regions, so `src` decides).
+fn route_missing_scoped(
+    problem: &Problem<'_>,
+    sched: &mut Schedule,
+    cfg: &SchedulerConfig,
+    allowed: &[bool],
+) {
+    for (i, e) in problem.edges.iter().enumerate() {
+        if !allowed[e.src] || sched.routes.contains_key(&i) {
+            continue;
+        }
+        let (Some(src), Some(dst)) = (sched.placement[e.src], sched.placement[e.dst]) else {
+            continue;
+        };
+        let values = sched.edge_values(problem);
+        let src_entity = e.src;
+        if let Some(path) = route(
+            problem.adg,
+            src,
+            dst,
+            |eid| {
+                values.get(&eid).map_or(0, |vals| {
+                    vals.iter().filter(|v| **v != src_entity).count() as u32
+                })
+            },
+            cfg.congestion,
+        ) {
+            sched.routes.insert(i, path);
+        }
+    }
+}
+
+/// [`ripup_congested`] restricted to allowed routes: congestion caused by
+/// pinned traffic can only be negotiated by moving the afflicted domain's
+/// own routes.
+fn ripup_congested_scoped(
+    problem: &Problem<'_>,
+    sched: &mut Schedule,
+    rng: &mut StdRng,
+    allowed: &[bool],
+) {
+    let values = sched.edge_values(problem);
+    let congested: std::collections::BTreeSet<_> = values
+        .iter()
+        .filter(|(_, vals)| vals.len() > 1)
+        .map(|(eid, _)| *eid)
+        .collect();
+    if congested.is_empty() {
+        return;
+    }
+    let mut crossing: Vec<usize> = sched
+        .routes
+        .iter()
+        .filter(|(i, path)| {
+            problem
+                .edges
+                .get(**i)
+                .is_some_and(|e| allowed[e.src])
+                && path.iter().any(|eid| congested.contains(eid))
+        })
+        .map(|(i, _)| *i)
+        .collect();
+    crossing.sort_unstable();
+    for i in crossing {
+        if rng.gen_bool(0.5) {
+            sched.routes.remove(&i);
+        }
+    }
+}
+
+/// [`pick_victims`] restricted to allowed entities.
+fn pick_victims_scoped(
+    problem: &Problem<'_>,
+    sched: &Schedule,
+    rng: &mut StdRng,
+    allowed: &[bool],
+    allowed_idx: &[usize],
+) -> Vec<usize> {
+    if allowed_idx.is_empty() {
+        return Vec::new();
+    }
+    let mut pool: Vec<usize> = Vec::new();
+    // Allowed entities on overused PEs (pinned co-tenants cannot move, so
+    // only the domain's own entities are candidates).
+    let mut pe_counts: std::collections::BTreeMap<_, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, p) in sched.placement.iter().enumerate() {
+        if let Some(node) = p {
+            pe_counts.entry(*node).or_default().push(i);
+        }
+    }
+    for (node, ents) in &pe_counts {
+        let slots = match problem.adg.kind(*node) {
+            Ok(dsagen_adg::NodeKind::Pe(pe)) => pe.sharing.instruction_slots() as usize,
+            Ok(dsagen_adg::NodeKind::Sync(_)) => 1,
+            _ => usize::MAX,
+        };
+        if ents.len() > slots {
+            pool.extend(ents.iter().copied().filter(|i| allowed[*i]));
+        }
+    }
+    // Allowed entities with unrouted edges.
+    for (i, e) in problem.edges.iter().enumerate() {
+        if allowed[e.src]
+            && !sched.routes.contains_key(&i)
+            && sched.placement[e.src].is_some()
+            && sched.placement[e.dst].is_some()
+        {
+            pool.push(e.src);
+            pool.push(e.dst);
+        }
+    }
+    // Allowed routes crossing congested links.
+    let values = sched.edge_values(problem);
+    let congested: std::collections::BTreeSet<_> = values
+        .iter()
+        .filter(|(_, vals)| vals.len() > 1)
+        .map(|(eid, _)| *eid)
+        .collect();
+    if !congested.is_empty() {
+        for (i, path) in &sched.routes {
+            if path.iter().any(|eid| congested.contains(eid)) {
+                if let Some(e) = problem.edges.get(*i) {
+                    if allowed[e.src] {
+                        pool.push(e.src);
+                        pool.push(e.dst);
+                    }
+                }
+            }
+        }
+    }
+    // Unplaced allowed entities always need attention.
+    pool.extend(allowed_idx.iter().copied().filter(|i| sched.placement[*i].is_none()));
+    pool.sort_unstable();
+
+    let count = rng.gen_range(1..=3usize.min(allowed_idx.len()));
+    let mut victims = Vec::with_capacity(count);
+    for _ in 0..count {
+        let v = if !pool.is_empty() && rng.gen_bool(0.8) {
+            pool[rng.gen_range(0..pool.len())]
+        } else {
+            allowed_idx[rng.gen_range(0..allowed_idx.len())]
+        };
+        if !victims.contains(&v) {
+            victims.push(v);
+        }
+    }
+    victims
+}
+
 fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> ScheduleResult {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 

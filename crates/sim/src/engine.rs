@@ -534,6 +534,59 @@ impl EngineCore {
         self.poisoned.iter().sum()
     }
 
+    /// Index of the pipeline group currently executing.
+    pub(crate) fn group_idx(&self) -> usize {
+        self.group_idx
+    }
+
+    /// The group-local cycle of the current group.
+    pub(crate) fn group_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Rewinds only `regions` to their state in `from`, leaving every other
+    /// region's progress (and the wall clock) untouched. Both cores must be
+    /// inside the same pipeline group with initialized region state — the
+    /// group-local timeline is the shared frame of reference that makes a
+    /// per-region splice meaningful. Returns false (and changes nothing)
+    /// when that precondition fails.
+    pub(crate) fn splice_regions_from(&mut self, from: &EngineCore, regions: &[usize]) -> bool {
+        if self.group_idx != from.group_idx {
+            return false;
+        }
+        let (Some(cur), Some(old)) = (self.regions.as_ref(), from.regions.as_ref()) else {
+            return false;
+        };
+        if cur.len() != old.len() || cur.iter().map(|(i, _)| i).ne(old.iter().map(|(i, _)| i)) {
+            return false;
+        }
+        let spliced: Vec<(usize, RegionState)> = self
+            .regions
+            .as_ref()
+            .expect("checked above")
+            .iter()
+            .zip(old.iter())
+            .map(|((ri, rs), (_, old_rs))| {
+                if regions.contains(ri) {
+                    (*ri, old_rs.clone())
+                } else {
+                    (*ri, rs.clone())
+                }
+            })
+            .collect();
+        self.regions = Some(spliced);
+        for &ri in regions {
+            if ri < self.firings.len() {
+                self.firings[ri] = from.firings[ri];
+                self.poisoned[ri] = from.poisoned[ri];
+                self.region_cycles[ri] = from.region_cycles[ri];
+                self.active_cycles[ri] = from.active_cycles[ri];
+                self.tallies[ri] = from.tallies[ri];
+            }
+        }
+        true
+    }
+
     /// Completed firings per region so far.
     pub(crate) fn firings(&self) -> &[u64] {
         &self.firings

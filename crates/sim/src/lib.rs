@@ -48,12 +48,14 @@
 #![warn(missing_debug_implementations)]
 
 mod cosim;
+pub mod domains;
 mod engine;
 pub mod recovery;
 pub mod runtime;
 pub mod telemetry;
 
 pub use cosim::{simulate_functional, CoSimError, CoSimReport};
+pub use domains::RecoveryDomains;
 pub use engine::{simulate, simulate_instrumented, try_simulate, try_simulate_collect};
 pub use recovery::{
     run_with_degradation, run_with_recovery, RecoveryAction, RecoveryError, RecoveryEvent,

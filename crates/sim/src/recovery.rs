@@ -41,8 +41,14 @@
 //!    budget; the victim's owner keeps serving on its other ports.
 //! 2. [`RepairRung::PortMask`] — same mask, full escalation budget.
 //! 3. [`RepairRung::NodeDecommission`] — remove the whole owning node,
-//!    the pre-ladder fail-stop behaviour, now the *last* structural rung.
-//! 4. **Degraded mode** — re-schedule the kernel from scratch on the
+//!    the pre-ladder fail-stop behaviour.
+//! 4. [`RepairRung::PartialReplace`] — re-place the afflicted *recovery
+//!    domain* from scratch (the whole kernel when it forms a single
+//!    domain) with normal objectives, over the same quarantine masks the
+//!    degraded rung would use — minus the fabric-as-is fallback, which
+//!    stays exclusive to degraded mode. A from-scratch placement explores
+//!    mappings incremental repair cannot reach, at full fidelity.
+//! 5. **Degraded mode** — re-schedule the kernel from scratch on the
 //!    surviving fabric with relaxed objectives (II and timing-mismatch
 //!    pressure dropped, so a slower-but-feasible mapping wins), resume
 //!    from the checkpoint ring, and finish at reduced throughput. The
@@ -50,7 +56,23 @@
 //!    measured [`RecoveryReport::throughput_ratio`]; callers that want
 //!    the distinction typed use [`run_with_degradation`], which wraps
 //!    the report in [`RecoveryOutcome`].
+//!
+//! # Blast-radius containment
+//!
+//! Recovery is *domain-scoped*: the kernel's regions are partitioned into
+//! [`RecoveryDomains`] (regions coupled by shared fabric or same-group
+//! memory arbitration), and every detected fault resolves to the single
+//! domain its victim sits in. When that domain is a proper subset of the
+//! kernel, (a) the structural rungs pin every other domain's placements
+//! and routes (verified bit-identical via
+//! [`Schedule::agrees_outside`] after each candidate repair), and (b)
+//! rollback is sliced to the afflicted domain
+//! ([`RuntimeSim::restore_scoped`]) so untouched domains keep their
+//! progress — the cycles they would have replayed are reported as
+//! [`RecoveryEvent::replayed_cycles_saved`]. Single-domain kernels fall
+//! back to exactly the whole-kernel behaviour.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use dsagen_adg::Adg;
@@ -61,11 +83,12 @@ use dsagen_hwgen::{
     SessionError, SessionState,
 };
 use dsagen_scheduler::{
-    repair_with_mask, CapabilityMask, Evaluation, Problem, RepairOutcome, Schedule,
-    SchedulerConfig, Weights,
+    repair_with_mask, repair_with_mask_scoped, CapabilityMask, Evaluation, Problem,
+    RepairOutcome, Schedule, SchedulerConfig, Weights,
 };
 use dsagen_telemetry::Telemetry;
 
+use crate::domains::RecoveryDomains;
 use crate::runtime::{RuntimeConfig, RuntimeFault, RuntimeSim, StepOutcome};
 use crate::{SimConfig, SimError, SimReport};
 
@@ -111,8 +134,13 @@ pub enum RepairRung {
     /// Same port mask, full escalation budget.
     PortMask,
     /// The whole owning node is decommissioned — the pre-ladder
-    /// fail-stop behaviour, now the last structural rung.
+    /// fail-stop behaviour.
     NodeDecommission,
+    /// From-scratch re-placement of the afflicted recovery domain (the
+    /// whole kernel when it forms a single domain) with *normal*
+    /// objectives, over the victim's quarantine masks. The last
+    /// full-fidelity rung before the degraded-mode reschedule.
+    PartialReplace,
 }
 
 impl fmt::Display for RepairRung {
@@ -121,6 +149,7 @@ impl fmt::Display for RepairRung {
             RepairRung::PortReroute => "port-reroute",
             RepairRung::PortMask => "port-mask",
             RepairRung::NodeDecommission => "node-decommission",
+            RepairRung::PartialReplace => "partial-replace",
         })
     }
 }
@@ -151,6 +180,25 @@ pub enum RecoveryAction {
     },
 }
 
+impl RecoveryAction {
+    /// Stable label for rung histograms: `"rollback-only"`, the rung's
+    /// display name for structural repairs, `"full-reschedule"` for the
+    /// degraded-mode rung.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryAction::RollbackOnly => "rollback-only",
+            RecoveryAction::Repaired { rung, .. } => match rung {
+                RepairRung::PortReroute => "port-reroute",
+                RepairRung::PortMask => "port-mask",
+                RepairRung::NodeDecommission => "node-decommission",
+                RepairRung::PartialReplace => "partial-replace",
+            },
+            RecoveryAction::DegradedReschedule { .. } => "full-reschedule",
+        }
+    }
+}
+
 impl fmt::Display for RecoveryAction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -179,7 +227,16 @@ pub struct RecoveryEvent {
     /// Cycles from first observable effect to detection.
     pub detection_latency: u64,
     /// Work cycles re-executed after rollback (detected_at − checkpoint).
+    /// Zero when the rollback was domain-sliced — the replay this event
+    /// *avoided* is in [`RecoveryEvent::replayed_cycles_saved`].
     pub replayed_cycles: u64,
+    /// Cycles of other domains' work that a domain-sliced rollback
+    /// preserved instead of replaying (detected_at − checkpoint when the
+    /// scoped restore engaged, `0` for whole-engine restores).
+    pub replayed_cycles_saved: u64,
+    /// Recovery domain the fault's victim sits in, `None` when the fault
+    /// struck hardware no region uses.
+    pub domain: Option<usize>,
     /// Reprogramming cost: frames sent + retransmission backoff + the
     /// regenerated configuration-path load.
     pub reprogram_cycles: u64,
@@ -295,6 +352,12 @@ pub struct RecoveryReport {
     /// ladder (masked ports, severed links, decommissioned nodes), in
     /// recovery order.
     pub masked_resources: Vec<String>,
+    /// Per-region firing traces of the surviving timeline —
+    /// `(pipeline group, group-local cycle)` per completed firing — when
+    /// [`RuntimeConfig::record_traces`] was on; `None` otherwise. Used by
+    /// the domain-isolation invariant tests to compare untouched domains
+    /// bit-for-bit against a fault-free run.
+    pub firing_traces: Option<Vec<Vec<(usize, u64)>>>,
 }
 
 impl RecoveryReport {
@@ -302,6 +365,25 @@ impl RecoveryReport {
     #[must_use]
     pub fn recoveries(&self) -> usize {
         self.events.len()
+    }
+
+    /// How many recoveries resolved at each rung, keyed by
+    /// [`RecoveryAction::label`]. The `"full-reschedule"` count is the
+    /// number of whole-kernel last-resort reschedules — the quantity
+    /// blast-radius containment exists to minimize.
+    #[must_use]
+    pub fn rung_histogram(&self) -> BTreeMap<&'static str, usize> {
+        let mut hist: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for e in &self.events {
+            *hist.entry(e.action.label()).or_insert(0) += 1;
+        }
+        hist
+    }
+
+    /// Total cycles domain-sliced rollbacks preserved across all events.
+    #[must_use]
+    pub fn replayed_cycles_saved(&self) -> u64 {
+        self.events.iter().map(|e| e.replayed_cycles_saved).sum()
     }
 
     /// Mean time to repair across all recoveries, in cycles.
@@ -365,12 +447,26 @@ pub fn run_with_recovery(
     let mut overhead: u64 = 0;
     let mut degraded = false;
     let mut masked_resources: Vec<String> = Vec::new();
+    // The fault-isolation partition of the *current* mapping; re-derived
+    // after every reprogram (a repair can change which regions share
+    // fabric).
+    let mut domains = RecoveryDomains::derive(adg, kernel, schedule);
 
     loop {
         match sim.run_until_event() {
             StepOutcome::Finished => break,
             StepOutcome::Detected(fault) => {
                 let fault = *fault;
+                // Resolve the blast radius: a single victim's affected
+                // regions always share one domain by construction.
+                let domain = domains.domain_of_regions(&fault.regions);
+                let afflicted: std::collections::BTreeSet<usize> = domain
+                    .map(|d| domains.regions_in(d).iter().copied().collect())
+                    .unwrap_or_default();
+                // Scoped recovery only pays off (and only differs) when
+                // other domains exist to protect.
+                let scoped =
+                    !afflicted.is_empty() && afflicted.len() < domains.region_count();
                 if events.len() >= policy.max_recoveries {
                     span.arg("outcome", "budget-exhausted");
                     span.end();
@@ -385,6 +481,10 @@ pub fn run_with_recovery(
                         .arg("detector", fault.detector.to_string())
                         .arg("detected_at", fault.detected_at)
                         .arg("latency", fault.detection_latency())
+                        .arg(
+                            "domain",
+                            domain.map_or_else(|| "none".to_string(), |d| d.to_string()),
+                        )
                 });
 
                 // 1. Checkpoint: pick the rollback target before anything
@@ -408,14 +508,31 @@ pub fn run_with_recovery(
                             RepairRung::PortReroute => 1,
                             _ => policy.repair_attempts,
                         };
-                        let attempt = repair_with_mask(
-                            &adg_now,
-                            kernel,
-                            sim.schedule(),
-                            &policy.scheduler,
-                            attempts,
-                            &mask,
-                        );
+                        // When other domains exist, the rung repairs only
+                        // the afflicted domain with every other domain's
+                        // placements and routes pinned; single-domain
+                        // kernels take the exact whole-kernel path.
+                        let attempt = if scoped {
+                            repair_with_mask_scoped(
+                                &adg_now,
+                                kernel,
+                                sim.schedule(),
+                                &afflicted,
+                                &policy.scheduler,
+                                attempts,
+                                &mask,
+                                false,
+                            )
+                        } else {
+                            repair_with_mask(
+                                &adg_now,
+                                kernel,
+                                sim.schedule(),
+                                &policy.scheduler,
+                                attempts,
+                                &mask,
+                            )
+                        };
                         let legal = attempt
                             .as_ref()
                             .is_ok_and(|(res, _)| res.is_legal());
@@ -423,11 +540,78 @@ pub fn run_with_recovery(
                             dsagen_telemetry::EventData::new("recovery", "rung")
                                 .arg("rung", rung.to_string())
                                 .arg("legal", legal)
+                                .arg("scoped", scoped)
                         });
                         if let Ok((res, masked_adg)) = attempt {
                             if res.is_legal() {
+                                // Containment proof: a scoped repair must
+                                // leave every pinned domain bit-identical.
+                                if scoped
+                                    && !res.schedule.agrees_outside(
+                                        &Problem::new(&adg_now, kernel),
+                                        sim.schedule(),
+                                        &afflicted,
+                                    )
+                                {
+                                    continue;
+                                }
                                 chosen = Some((res, masked_adg, mask, rung));
                                 break;
+                            }
+                        }
+                    }
+                    // Rung 4, partial re-placement: re-place the afflicted
+                    // domain (or the whole kernel when it is one domain)
+                    // from scratch with *normal* objectives over the
+                    // victim's quarantine masks. No fabric-as-is fallback
+                    // here — that concession stays exclusive to the
+                    // degraded rung below.
+                    if chosen.is_none() {
+                        let replace_regions: std::collections::BTreeSet<usize> = if scoped {
+                            afflicted.clone()
+                        } else {
+                            (0..domains.region_count()).collect()
+                        };
+                        let replace_cfg = partial_replace_config(&policy.scheduler);
+                        for mask in partial_masks(&adg_now, &fault) {
+                            let attempt = repair_with_mask_scoped(
+                                &adg_now,
+                                kernel,
+                                sim.schedule(),
+                                &replace_regions,
+                                &replace_cfg,
+                                policy.repair_attempts,
+                                &mask,
+                                true,
+                            );
+                            let legal = attempt
+                                .as_ref()
+                                .is_ok_and(|(res, _)| res.is_legal());
+                            tel.emit(|| {
+                                dsagen_telemetry::EventData::new("recovery", "rung")
+                                    .arg("rung", RepairRung::PartialReplace.to_string())
+                                    .arg("legal", legal)
+                                    .arg("scoped", scoped)
+                            });
+                            if let Ok((res, masked_adg)) = attempt {
+                                if res.is_legal() {
+                                    if scoped
+                                        && !res.schedule.agrees_outside(
+                                            &Problem::new(&adg_now, kernel),
+                                            sim.schedule(),
+                                            &afflicted,
+                                        )
+                                    {
+                                        continue;
+                                    }
+                                    chosen = Some((
+                                        res,
+                                        masked_adg,
+                                        mask,
+                                        RepairRung::PartialReplace,
+                                    ));
+                                    break;
+                                }
                             }
                         }
                     }
@@ -555,16 +739,31 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                     srep.frames_sent + srep.backoff_cycles + u64::from(cpl_now);
 
                 // 5. Resume from the checkpoint on the (new) mapping.
-                sim.restore(&ckpt);
+                //    When other domains exist and there is work to
+                //    replay, try a domain-sliced rollback first: only the
+                //    afflicted domain rewinds, the rest keep their
+                //    progress and the replay they were spared is
+                //    accounted as saved.
+                let afflicted_vec: Vec<usize> = afflicted.iter().copied().collect();
+                let (replayed_cycles, replayed_cycles_saved) =
+                    if scoped && replayed > 0 && sim.restore_scoped(&ckpt, &afflicted_vec) {
+                        (0, replayed)
+                    } else {
+                        sim.restore(&ckpt);
+                        (replayed, 0)
+                    };
                 if let (Some(s), Some(e)) = (sched_now, eval_now) {
                     sim.reprogram(adg_now.clone(), s, e, cpl_now)?;
+                    domains = RecoveryDomains::derive(sim.adg(), kernel, sim.schedule());
                 }
 
                 let event = RecoveryEvent {
                     detection_latency: fault.detection_latency(),
                     fault,
                     action,
-                    replayed_cycles: replayed,
+                    replayed_cycles,
+                    replayed_cycles_saved,
+                    domain,
                     reprogram_cycles,
                 };
                 overhead += event.overhead_cycles();
@@ -572,6 +771,7 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                     dsagen_telemetry::EventData::new("recovery", "resume")
                         .arg("action", event.action.to_string())
                         .arg("replayed_cycles", event.replayed_cycles)
+                        .arg("replayed_cycles_saved", event.replayed_cycles_saved)
                         .arg("reprogram_cycles", event.reprogram_cycles)
                         .arg("mttr_cycles", event.mttr_cycles())
                 });
@@ -607,6 +807,7 @@ surviving fabric reschedules legally ({spent} iterations spent)"
     span.arg("total_cycles", total_cycles);
     span.arg("degraded", degraded);
     span.end();
+    let firing_traces = sim.firing_traces().map(<[Vec<(usize, u64)>]>::to_vec);
     Ok(RecoveryReport {
         report,
         events,
@@ -616,6 +817,7 @@ surviving fabric reschedules legally ({spent} iterations spent)"
         degraded,
         throughput_ratio,
         masked_resources,
+        firing_traces,
     })
 }
 
@@ -643,6 +845,26 @@ fn ladder(adg: &Adg, fault: &RuntimeFault) -> Vec<(RepairRung, CapabilityMask)> 
             RepairRung::NodeDecommission,
             CapabilityMask::new().with_node(n),
         )],
+        FaultTarget::Word(_) => Vec::new(),
+    }
+}
+
+/// Quarantine masks for the partial-replace rung, most to least
+/// protective: the owning node for node victims; the owning node then
+/// just the link for edge victims. Unlike [`quarantine_candidates`] there
+/// is deliberately no fabric-as-is entry — partial replacement is a
+/// full-fidelity rung, so it must place *around* the damage, never on it.
+fn partial_masks(adg: &Adg, fault: &RuntimeFault) -> Vec<CapabilityMask> {
+    match fault.victim {
+        FaultTarget::Node(n) => vec![CapabilityMask::new().with_node(n)],
+        FaultTarget::Edge(e) => {
+            let mut m = Vec::new();
+            if let Some(edge) = adg.edge(e) {
+                m.push(CapabilityMask::new().with_node(edge.dst));
+            }
+            m.push(CapabilityMask::new().with_edge(e));
+            m
+        }
         FaultTarget::Word(_) => Vec::new(),
     }
 }
@@ -676,6 +898,21 @@ fn quarantine_candidates(adg: &Adg, fault: &RuntimeFault) -> Vec<(Adg, Vec<Strin
     }
     out.push((adg.clone(), Vec::new()));
     out
+}
+
+/// Scheduler configuration for the partial-replace rung: the *same*
+/// full-fidelity objectives as online repair, but with the degraded
+/// rung's floored iteration budget and a distinct seed. Partial
+/// re-placement starts from scratch inside the afflicted domain, so the
+/// deliberately-skinny incremental-repair budget is the wrong size for
+/// it — and every success here is a full-throughput finish that the
+/// relaxed rung below would have served at reduced throughput.
+fn partial_replace_config(base: &SchedulerConfig) -> SchedulerConfig {
+    SchedulerConfig {
+        max_iters: base.max_iters.saturating_mul(4).clamp(512, 4096),
+        seed: base.seed ^ 0x9A27_71A1,
+        ..*base
+    }
 }
 
 /// Scheduler configuration for the degraded-mode reschedule: feasibility

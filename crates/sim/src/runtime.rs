@@ -96,6 +96,13 @@ pub struct RuntimeConfig {
     /// cost of checking each cycle. Detection latency never exceeds the
     /// non-eager bound (regression-tested).
     pub residue_eager: bool,
+    /// Record a per-region firing trace: for every completed firing, the
+    /// `(pipeline group, group-local cycle)` at which it fired. Off by
+    /// default — traces grow with the firing count and exist to *audit*
+    /// recovery (the domain-isolation invariant compares traces of
+    /// untouched domains bit-for-bit against a fault-free run), not to
+    /// drive it.
+    pub record_traces: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -106,6 +113,7 @@ impl Default for RuntimeConfig {
             checkpoint_interval: 256,
             checkpoint_ring: 8,
             residue_eager: false,
+            record_traces: false,
         }
     }
 }
@@ -251,6 +259,10 @@ pub struct RuntimeSim {
     effects: Vec<Effect>,
     /// Scratch: which faults touched a live region in the next cycle.
     touched: Vec<bool>,
+    /// Per-region firing trace (`(group, group-local cycle)` per completed
+    /// firing), populated only under [`RuntimeConfig::record_traces`].
+    /// Rolls back with the engine state on restore.
+    traces: Vec<Vec<(usize, u64)>>,
     seed: u64,
 }
 
@@ -323,6 +335,7 @@ impl RuntimeSim {
             ring: VecDeque::new(),
             effects: vec![Effect::Normal; n_regions],
             touched: vec![false; n_faults],
+            traces: vec![Vec::new(); n_regions],
             seed: faults.seed,
         };
         sim.faults = faults
@@ -481,8 +494,54 @@ impl RuntimeSim {
                 f.first_effect = None;
             }
         }
+        for (ri, trace) in self.traces.iter_mut().enumerate() {
+            trace.truncate(self.core.firings().get(ri).copied().unwrap_or(0) as usize);
+        }
         self.ring.clear();
         self.baseline = ckpt.clone();
+    }
+
+    /// Domain-sliced rollback: rewinds only `regions` to their state in
+    /// `ckpt`, leaving every other region's progress — and the wall clock —
+    /// untouched, so work outside the afflicted domain is never replayed.
+    ///
+    /// The splice is only meaningful when both timelines share a frame of
+    /// reference, so this engages only when `ckpt` and the current state
+    /// sit inside the *same pipeline group* with initialized region state
+    /// and `regions` is a *proper* subset of that group (rewinding the
+    /// whole group is exactly [`RuntimeSim::restore`]). Returns `false`
+    /// without changing anything when those preconditions fail — callers
+    /// fall back to the global restore.
+    ///
+    /// On success the checkpoint ring is cleared and the baseline is
+    /// re-seeded from the post-splice state (older snapshots describe a
+    /// timeline that no longer exists for the rewound regions). The global
+    /// stall counters are *not* rewound: the un-spliced regions' stalls
+    /// genuinely happened, so the spliced regions' pre-rollback stalls
+    /// remain accounted — a deliberate, documented accounting bias toward
+    /// over-reporting stalls rather than losing them.
+    pub fn restore_scoped(&mut self, ckpt: &SimCheckpoint, regions: &[usize]) -> bool {
+        let Some(group) = self.groups.get(self.core.group_idx()) else {
+            return false;
+        };
+        let in_group = regions.iter().all(|r| group.contains(r));
+        if regions.is_empty() || !in_group || regions.len() >= group.len() {
+            return false;
+        }
+        if !self.core.splice_regions_from(&ckpt.core, regions) {
+            return false;
+        }
+        for f in &mut self.faults {
+            f.stall_run = 0;
+        }
+        for &ri in regions {
+            if let Some(trace) = self.traces.get_mut(ri) {
+                trace.truncate(self.core.firings().get(ri).copied().unwrap_or(0) as usize);
+            }
+        }
+        self.ring.clear();
+        self.baseline = self.checkpoint();
+        true
     }
 
     /// The checkpoint recovery should roll back to for `fault`:
@@ -632,6 +691,20 @@ impl RuntimeSim {
             }
             let wall = self.core.wall();
 
+            // ---- firing-trace catch-up: the engine fires each region at
+            // most once per cycle, so any firing-count growth this cycle
+            // is attributed to the cycle just executed.
+            if self.rt.record_traces {
+                let gi = self.core.group_idx();
+                let gc = self.core.group_cycle();
+                for (ri, trace) in self.traces.iter_mut().enumerate() {
+                    let fired = self.core.firings().get(ri).copied().unwrap_or(0) as usize;
+                    while trace.len() < fired {
+                        trace.push((gi, gc));
+                    }
+                }
+            }
+
             // ---- detector bookkeeping.
             let mut detected: Option<usize> = None;
             for (fi, f) in self.faults.iter_mut().enumerate() {
@@ -731,6 +804,15 @@ impl RuntimeSim {
     #[must_use]
     pub fn telemetry(&self) -> SimTelemetry {
         self.core.telemetry(ctx!(self), &self.schedule)
+    }
+
+    /// Per-region firing traces — `(pipeline group, group-local cycle)`
+    /// per completed firing — when [`RuntimeConfig::record_traces`] is on,
+    /// `None` otherwise. Traces roll back with the engine state on
+    /// restore, so after recovery they describe the surviving timeline.
+    #[must_use]
+    pub fn firing_traces(&self) -> Option<&[Vec<(usize, u64)>]> {
+        self.rt.record_traces.then_some(self.traces.as_slice())
     }
 
     /// The currently-programmed schedule.
