@@ -1,31 +1,40 @@
 //! bench_compare — regression gate for committed BENCH artifacts.
 //!
 //! Diffs a freshly generated benchmark JSON against the committed copy and
-//! fails (exit 1) when recovery quality regressed by more than 25%:
+//! fails (exit 1) when quality regressed by more than 25%:
 //!
-//! * **MTTR** — a preset/row whose mean time to repair grew past 1.25× the
-//!   committed value.
-//! * **Throughput ratio** — a degraded-mode surviving-throughput fraction
-//!   that fell below 0.75× the committed value.
+//! * **soak / recovery** — MTTR grew past 1.25× committed, or a
+//!   surviving-throughput fraction fell below 0.75× committed.
+//! * **dse_parallel** — the (seed, shards)-deterministic best objective
+//!   fell, memoization regressed (more stochastic scheduling passes, or a
+//!   lower cache hit rate).
+//! * **config_integrity** — the transient-flip recovery probe needs more
+//!   programming attempts, or verify throughput fell.
+//! * **telemetry_overhead** — the disabled-telemetry overhead exceeds the
+//!   artifact's own absolute gate (2%), regardless of the committed value.
 //!
-//! The artifact kind (soak vs recovery) is sniffed from the document shape,
-//! so CI invokes one binary for both gates:
+//! The artifact kind is read from the envelope's `bench` field when
+//! present, else sniffed from the document shape, so CI invokes one
+//! binary for every gate:
 //!
 //! ```text
 //! cargo run --release -p dsagen-bench --bin bench_compare -- \
 //!     BENCH_soak.json /tmp/fresh_soak.json
 //! ```
 //!
-//! Committed artifacts may predate newer emitters, so every field is
-//! optional on the committed side: a metric absent from the committed file
-//! (e.g. `full_reschedules` from before rung histograms existed) is
-//! reported as informational, never a failure. Comparisons with a
-//! committed value below 1.0 (cycle metrics) are skipped — a 25% band
-//! around ~zero is noise, not a gate.
+//! Committed artifacts may predate newer emitters, so both sides read
+//! through [`dsagen_bench::envelope::payload`] (bare pre-envelope
+//! documents pass through) and every field is optional on the committed
+//! side: a metric absent from the committed file (e.g. `full_reschedules`
+//! from before rung histograms existed) is reported as informational,
+//! never a failure. Comparisons with a committed value below 1.0 (cycle
+//! metrics) are skipped — a 25% band around ~zero is noise, not a gate.
 
 use std::process::ExitCode;
 
+use dsagen_bench::envelope::{bench_name, payload};
 use dsagen_bench::json::{parse, JsonValue};
+use dsagen_telemetry::{log, Level};
 
 /// Regression band: fail when fresh MTTR exceeds 1.25× committed, or a
 /// fresh throughput ratio falls below 0.75× committed.
@@ -162,43 +171,170 @@ fn compare_recovery(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<C
     }
 }
 
+/// dse_parallel artifact: per thread count, the deterministic exploration
+/// outcome (best objective) and the memoization quality (stochastic
+/// scheduling passes, cache hit rate). Wall-clock fields are not gated —
+/// CI machine speed is not a code property.
+fn compare_dse_parallel(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    let committed_runs = committed.get("runs").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let fresh_runs = fresh.get("runs").and_then(JsonValue::as_array).unwrap_or(&[]);
+    for c in committed_runs {
+        let Some(threads) = num(c, "threads") else { continue };
+        let Some(f) = fresh_runs.iter().find(|f| num(f, "threads") == Some(threads)) else {
+            println!("note: threads={threads} run present in committed but not fresh — skipped");
+            continue;
+        };
+        let tag = format!("threads={threads}");
+        if let (Some(co), Some(fo)) = (num(c, "best_objective"), num(f, "best_objective")) {
+            checks.extend(check_smaller_is_worse(format!("{tag} best_objective"), co, fo));
+        }
+        if let (Some(cs), Some(fs)) = (num(c, "sched_invocations"), num(f, "sched_invocations")) {
+            checks.extend(check_larger_is_worse(format!("{tag} sched_invocations"), cs, fs));
+        }
+        if let (Some(ch), Some(fh)) = (
+            c.get("cache").and_then(|v| num(v, "hit_rate")),
+            f.get("cache").and_then(|v| num(v, "hit_rate")),
+        ) {
+            checks.extend(check_smaller_is_worse(format!("{tag} cache hit_rate"), ch, fh));
+        }
+    }
+}
+
+/// config_integrity artifact: per (preset, kernel), the deterministic
+/// transient-flip recovery cost and the verify-gate throughput.
+fn compare_config_integrity(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    let committed_rows = committed.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
+    let fresh_rows = fresh.get("rows").and_then(JsonValue::as_array).unwrap_or(&[]);
+    for c in committed_rows {
+        let key = (str_of(c, "preset"), str_of(c, "kernel"));
+        let Some(f) = fresh_rows
+            .iter()
+            .find(|f| (str_of(f, "preset"), str_of(f, "kernel")) == key)
+        else {
+            println!("note: row {}/{} present in committed but not fresh — skipped", key.0, key.1);
+            continue;
+        };
+        let tag = format!("{}/{}", key.0, key.1);
+        if let (Some(ca), Some(fa)) = (num(c, "recovery_attempts"), num(f, "recovery_attempts")) {
+            checks.extend(check_larger_is_worse(format!("{tag} recovery_attempts"), ca, fa));
+        }
+        if let (Some(cw), Some(fw)) =
+            (num(c, "verify_words_per_sec"), num(f, "verify_words_per_sec"))
+        {
+            checks.extend(check_smaller_is_worse(
+                format!("{tag} verify_words_per_sec"),
+                cw,
+                fw,
+            ));
+        }
+    }
+}
+
+/// telemetry_overhead artifact: the fresh aggregate disabled overhead is
+/// gated **absolutely** against the artifact's own `gate_pct` (2%) — a
+/// committed-relative band makes no sense around a near-zero baseline.
+fn compare_telemetry_overhead(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    let gate = num(fresh, "gate_pct")
+        .or_else(|| num(committed, "gate_pct"))
+        .unwrap_or(2.0);
+    if let Some(fa) = num(fresh, "aggregate_disabled_overhead_pct") {
+        checks.push(Check {
+            label: format!("aggregate_disabled_overhead_pct (abs gate {gate}%)"),
+            committed: num(committed, "aggregate_disabled_overhead_pct").unwrap_or(gate),
+            fresh: fa,
+            worse: if fa <= gate { 0.0 } else { 1.0 },
+        });
+    }
+    match (
+        num(committed, "enabled_events_per_sec"),
+        num(fresh, "enabled_events_per_sec"),
+    ) {
+        (Some(c), Some(f)) => {
+            println!("info: enabled_events_per_sec committed {c:.0} -> fresh {f:.0}");
+        }
+        (None, Some(f)) => {
+            println!("info: enabled_events_per_sec fresh {f:.0} (no committed baseline)");
+        }
+        _ => {}
+    }
+}
+
 fn load(path: &str) -> Result<JsonValue, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+/// The artifact kind: the envelope's `bench` field when present, else
+/// sniffed from the (unwrapped) document shape so pre-envelope baselines
+/// still dispatch correctly.
+fn sniff_kind(doc: &JsonValue, body: &JsonValue) -> Option<&'static str> {
+    if let Some(name) = bench_name(doc) {
+        return match name {
+            "soak" => Some("soak"),
+            "recovery" => Some("recovery"),
+            "dse_parallel" => Some("dse_parallel"),
+            "config_integrity" => Some("config_integrity"),
+            "telemetry_overhead" => Some("telemetry_overhead"),
+            _ => None,
+        };
+    }
+    if body.get("presets").is_some() {
+        Some("soak")
+    } else if body.get("runs").is_some() {
+        Some("dse_parallel")
+    } else if body.get("aggregate_disabled_overhead_pct").is_some() {
+        Some("telemetry_overhead")
+    } else if body.get("verify_reps").is_some() {
+        Some("config_integrity")
+    } else if body.get("rows").is_some() {
+        Some("recovery")
+    } else {
+        None
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let [_, committed_path, fresh_path] = &args[..] else {
-        eprintln!("usage: bench_compare <committed.json> <fresh.json>");
+        log(Level::Error, "usage: bench_compare <committed.json> <fresh.json>");
         return ExitCode::from(2);
     };
-    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+    let (committed_doc, fresh_doc) = match (load(committed_path), load(fresh_path)) {
         (Ok(c), Ok(f)) => (c, f),
         (Err(e), _) | (_, Err(e)) => {
-            eprintln!("bench_compare: {e}");
+            log(Level::Error, format!("bench_compare: {e}"));
             return ExitCode::from(2);
         }
     };
+    // Both sides read through the envelope (bare documents pass through).
+    let committed = payload(&committed_doc);
+    let fresh = payload(&fresh_doc);
 
-    // Sniff the artifact kind: soak files carry per-preset aggregates,
-    // recovery files carry a transient/permanent split per row.
-    let kind = if committed.get("presets").is_some() || fresh.get("presets").is_some() {
-        "soak"
-    } else {
-        "recovery"
+    let Some(kind) = sniff_kind(&committed_doc, committed)
+        .or_else(|| sniff_kind(&fresh_doc, fresh))
+    else {
+        log(
+            Level::Error,
+            format!("bench_compare: unrecognized artifact shape in {committed_path}"),
+        );
+        return ExitCode::from(2);
     };
     println!("bench_compare: {kind} | committed {committed_path} vs fresh {fresh_path}");
 
     let mut checks = Vec::new();
-    if kind == "soak" {
-        compare_soak(&committed, &fresh, &mut checks);
-    } else {
-        compare_recovery(&committed, &fresh, &mut checks);
+    match kind {
+        "soak" => compare_soak(committed, fresh, &mut checks),
+        "dse_parallel" => compare_dse_parallel(committed, fresh, &mut checks),
+        "config_integrity" => compare_config_integrity(committed, fresh, &mut checks),
+        "telemetry_overhead" => compare_telemetry_overhead(committed, fresh, &mut checks),
+        _ => compare_recovery(committed, fresh, &mut checks),
     }
 
     if checks.is_empty() {
-        eprintln!("bench_compare: no comparable metrics found — schema mismatch?");
+        log(
+            Level::Error,
+            "bench_compare: no comparable metrics found — schema mismatch?",
+        );
         return ExitCode::from(2);
     }
 
@@ -216,10 +352,13 @@ fn main() -> ExitCode {
     }
 
     if failures > 0 {
-        eprintln!(
-            "bench_compare: {failures}/{} metrics regressed beyond {:.0}%",
-            checks.len(),
-            100.0 * TOLERANCE
+        log(
+            Level::Error,
+            format!(
+                "bench_compare: {failures}/{} metrics regressed beyond {:.0}%",
+                checks.len(),
+                100.0 * TOLERANCE
+            ),
         );
         return ExitCode::FAILURE;
     }

@@ -16,7 +16,8 @@
 //! reporting the retry cost of healing the fault.
 //!
 //! A machine-readable copy of the table is written as JSON (first CLI
-//! argument, default `config_integrity.json`) for the CI artifact upload.
+//! argument, default `BENCH_config_integrity.json`) for the CI artifact
+//! upload and the `bench_compare` recovery-behavior gate.
 //!
 //! Run with: `cargo run --release -p dsagen-bench --bin config_integrity`
 
@@ -25,7 +26,9 @@ use std::hint::black_box;
 use std::time::Instant;
 
 use dsagen_adg::{presets, Adg};
+use dsagen_bench::envelope::Envelope;
 use dsagen_bench::rule;
+use dsagen_telemetry::{log, Level};
 use dsagen_dfg::{compile_kernel, Kernel, TransformConfig};
 use dsagen_faults::{corrupt_frames, FaultKind, FaultPlan};
 use dsagen_hwgen::{
@@ -176,7 +179,7 @@ fn to_json(rows: &[Row]) -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "config_integrity.json".to_string());
+        .unwrap_or_else(|| "BENCH_config_integrity.json".to_string());
 
     println!("CONFIG INTEGRITY: round-trip verification and CRC framing cost");
     println!(
@@ -223,8 +226,13 @@ fn main() {
     );
 
     let json = to_json(&rows);
-    match std::fs::write(&out_path, &json) {
+    let artifact = Envelope::new("config_integrity")
+        .meta_int("seed", SEED)
+        .meta_int("verify_reps", u64::from(VERIFY_REPS))
+        .meta_int("frame_reps", u64::from(FRAME_REPS))
+        .wrap(&json);
+    match std::fs::write(&out_path, &artifact) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("could not write {out_path}: {e}"),
+        Err(e) => log(Level::Error, format!("could not write {out_path}: {e}")),
     }
 }

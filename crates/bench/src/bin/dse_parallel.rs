@@ -9,7 +9,8 @@
 //! executor throughput.
 //!
 //! A machine-readable copy of the table is written as JSON (first CLI
-//! argument, default `dse_parallel.json`) for the CI artifact upload.
+//! argument, default `BENCH_dse_parallel.json`) for the CI artifact
+//! upload and the `bench_compare` determinism gate.
 //!
 //! Run with: `cargo run --release -p dsagen-bench --bin dse_parallel`
 
@@ -17,8 +18,10 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use dsagen_adg::presets;
+use dsagen_bench::envelope::Envelope;
 use dsagen_bench::rule;
 use dsagen_dse::{CacheStats, DseConfig, Explorer};
+use dsagen_telemetry::{log, Level, MetricsRegistry, Telemetry};
 use dsagen_workloads::{suite_kernels, Suite};
 
 /// Independent exploration shards (fixed across all runs).
@@ -63,7 +66,7 @@ fn bench_kernels() -> Vec<dsagen_dfg::Kernel> {
     out
 }
 
-fn run_once(kernels: &[dsagen_dfg::Kernel], threads: usize) -> Run {
+fn run_once(kernels: &[dsagen_dfg::Kernel], threads: usize) -> (Run, MetricsRegistry) {
     let cfg = DseConfig {
         seed: SEED,
         shards: SHARDS,
@@ -74,7 +77,11 @@ fn run_once(kernels: &[dsagen_dfg::Kernel], threads: usize) -> Run {
         max_unroll: 4,
         ..DseConfig::default()
     };
-    let mut ex = Explorer::new(presets::dse_initial(), kernels, cfg);
+    // Sink off, metrics on: counters ride into the artifact envelope and
+    // let the run double as a registry-determinism probe.
+    let reg = MetricsRegistry::enabled();
+    let tel = Telemetry::disabled().with_metrics(reg.clone());
+    let mut ex = Explorer::new(presets::dse_initial(), kernels, cfg).with_telemetry(tel);
     let started = Instant::now();
     let result = ex.run();
     let seconds = started.elapsed().as_secs_f64();
@@ -83,14 +90,15 @@ fn run_once(kernels: &[dsagen_dfg::Kernel], threads: usize) -> Run {
         .iter()
         .map(|t| t.len() as u64)
         .sum::<u64>();
-    Run {
+    let run = Run {
         threads,
         seconds,
         iterations,
         best_objective: result.best.objective,
         cache: ex.cache_stats(),
         sched_invocations: ex.sched_invocations(),
-    }
+    };
+    (run, reg)
 }
 
 /// Minimal JSON emission (the vendored serde is a stub — format by hand).
@@ -132,7 +140,7 @@ fn to_json(kernels: &[dsagen_dfg::Kernel], runs: &[Run]) -> String {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "dse_parallel.json".to_string());
+        .unwrap_or_else(|| "BENCH_dse_parallel.json".to_string());
     let kernels = bench_kernels();
 
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
@@ -153,9 +161,11 @@ fn main() {
     rule(78);
 
     let mut runs = Vec::new();
+    let mut last_registry = MetricsRegistry::disabled();
     for &t in &THREADS {
-        let r = run_once(&kernels, t);
+        let (r, reg) = run_once(&kernels, t);
         runs.push(r);
+        last_registry = reg;
     }
     let base = runs[0].iters_per_sec();
     for r in &runs {
@@ -192,8 +202,14 @@ fn main() {
     );
 
     let json = to_json(&kernels, &runs);
-    match std::fs::write(&out_path, &json) {
+    let artifact = Envelope::new("dse_parallel")
+        .meta_int("seed", SEED)
+        .meta_int("shards", SHARDS as u64)
+        .meta_int("max_iters", u64::from(MAX_ITERS))
+        .metrics(last_registry.snapshot())
+        .wrap(&json);
+    match std::fs::write(&out_path, &artifact) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("could not write {out_path}: {e}"),
+        Err(e) => log(Level::Error, format!("could not write {out_path}: {e}")),
     }
 }

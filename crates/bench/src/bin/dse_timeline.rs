@@ -15,7 +15,7 @@
 use dsagen_adg::presets;
 use dsagen_bench::rule;
 use dsagen_dse::{DseConfig, DseTimeline, Explorer};
-use dsagen_telemetry::{chrome_trace, Telemetry};
+use dsagen_telemetry::{chrome_trace, log, Level, Telemetry};
 use dsagen_workloads::{dsp, machsuite, polybench};
 
 fn main() {
@@ -52,13 +52,13 @@ fn main() {
     rule(92);
 
     if let Err(e) = std::fs::write(&out_path, timeline.to_json()) {
-        eprintln!("could not write {out_path}: {e}");
+        log(Level::Error, format!("could not write {out_path}: {e}"));
         std::process::exit(1);
     }
     let trace_path = out_path.replace(".json", ".trace.json");
     let events = tel.events();
     if let Err(e) = std::fs::write(&trace_path, chrome_trace(&events)) {
-        eprintln!("could not write {trace_path}: {e}");
+        log(Level::Error, format!("could not write {trace_path}: {e}"));
         std::process::exit(1);
     }
     println!(

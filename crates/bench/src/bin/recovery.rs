@@ -27,9 +27,11 @@ use std::fmt::Write as _;
 
 use dsagen::{compile, recover, CompileOptions};
 use dsagen_adg::{presets, Adg};
+use dsagen_bench::envelope::Envelope;
 use dsagen_bench::rule;
 use dsagen_faults::{FaultKind, FaultLifetime, FaultSchedule};
 use dsagen_sim::{try_simulate, RecoveryAction, RecoveryPolicy, SimConfig};
+use dsagen_telemetry::{log, Level, MetricsRegistry};
 use dsagen_workloads::{machsuite, polybench};
 
 /// Fixed seed: every run measures the identical schedules and faults.
@@ -87,7 +89,12 @@ fn one_fault(arrival: u64, lifetime: FaultLifetime) -> FaultSchedule {
     FaultSchedule::new(SEED).with(arrival, lifetime, FaultKind::DeadPe)
 }
 
-fn bench_one(preset: &'static str, adg: &Adg, kernel: &dsagen_dfg::Kernel) -> Option<Row> {
+fn bench_one(
+    preset: &'static str,
+    adg: &Adg,
+    kernel: &dsagen_dfg::Kernel,
+    metrics: &MetricsRegistry,
+) -> Option<Row> {
     let opts = CompileOptions::default();
     let compiled = match compile(adg, kernel, &opts) {
         Ok(c) => c,
@@ -106,7 +113,7 @@ fn bench_one(preset: &'static str, adg: &Adg, kernel: &dsagen_dfg::Kernel) -> Op
 
     let arrival = (plain.cycles / 3).max(1);
     let policy = RecoveryPolicy::default();
-    let tel = dsagen_telemetry::Telemetry::disabled();
+    let tel = dsagen_telemetry::Telemetry::disabled().with_metrics(metrics.clone());
 
     // Transient DeadPe: rollback-only recovery, bit-identical firings.
     let transient = one_fault(arrival, FaultLifetime::Transient { duration: TRANSIENT_CYCLES });
@@ -220,9 +227,12 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut skipped = 0usize;
+    // Metrics on, sink off: the sweep's recovery counters ride into the
+    // artifact envelope.
+    let metrics = MetricsRegistry::enabled();
     for (preset, adg) in fixtures() {
         for kernel in &workloads() {
-            match bench_one(preset, &adg, kernel) {
+            match bench_one(preset, &adg, kernel, &metrics) {
                 Some(r) => {
                     let (perm, p_mttr, p_ovhd) = match &r.p_outcome {
                         Some(p) => (
@@ -279,8 +289,14 @@ mean MTTR {:.0} cycles | permanent: {}/{} recovered, rest failed typed",
     );
 
     let json = to_json(&rows);
-    match std::fs::write(&out_path, &json) {
+    let artifact = Envelope::new("recovery")
+        .meta_int("seed", SEED)
+        .meta_int("transient_cycles", TRANSIENT_CYCLES)
+        .meta_int("pairs", rows.len() as u64)
+        .metrics(metrics.snapshot())
+        .wrap(&json);
+    match std::fs::write(&out_path, &artifact) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("could not write {out_path}: {e}"),
+        Err(e) => log(Level::Error, format!("could not write {out_path}: {e}")),
     }
 }

@@ -31,9 +31,11 @@ use std::fmt::Write as _;
 
 use dsagen::{compile, recover_with_degradation, CompileOptions};
 use dsagen_adg::{presets, Adg};
+use dsagen_bench::envelope::Envelope;
 use dsagen_bench::rule;
 use dsagen_faults::{FaultSchedule, StormConfig};
 use dsagen_sim::{try_simulate, RecoveryPolicy, SimConfig};
+use dsagen_telemetry::{log, Level, MetricsRegistry};
 use dsagen_workloads::{machsuite, polybench};
 
 /// Storm seeds. `DSAGEN_SOAK_SEED=<u64>` narrows the sweep to a single
@@ -87,6 +89,10 @@ fn workloads() -> Vec<dsagen_dfg::Kernel> {
         polybench::bicg(),
         machsuite::mm(),
         machsuite::spmv_crs(),
+        // The concurrent two-stage pipeline workload: its live stages
+        // partition into separate recovery domains, so domain-sliced
+        // rollback engages and `replayed_saved_cycles` is non-zero.
+        polybench::pipe_split(),
     ]
 }
 
@@ -116,7 +122,9 @@ fn main() {
     let seeds = seeds();
     let policy = RecoveryPolicy::default();
     let cfg = SimConfig::default();
-    let tel = dsagen_telemetry::Telemetry::disabled();
+    // Metrics on, sink off: the sweep's recovery counters ride into the
+    // artifact envelope without per-event allocation.
+    let tel = dsagen_telemetry::Telemetry::disabled().with_metrics(MetricsRegistry::enabled());
 
     println!("FAULT-STORM SOAK: degradation ladder under seeded multi-fault storms");
     println!(
@@ -166,7 +174,10 @@ fn main() {
                 let out = match run() {
                     Ok(out) => out,
                     Err(e) => {
-                        eprintln!("{preset}/{} seed {seed:#x}: ABORT {e}", kernel.name);
+                        log(
+                            Level::Error,
+                            format!("{preset}/{} seed {seed:#x}: ABORT {e}", kernel.name),
+                        );
                         aborted += 1;
                         continue;
                     }
@@ -177,9 +188,12 @@ fn main() {
                     match run() {
                         Ok(second) if second == out => {}
                         _ => {
-                            eprintln!(
-                                "{preset}/{} seed {seed:#x}: replay diverged",
-                                kernel.name
+                            log(
+                                Level::Error,
+                                format!(
+                                    "{preset}/{} seed {seed:#x}: replay diverged",
+                                    kernel.name
+                                ),
                             );
                             replay_divergences += 1;
                         }
@@ -261,17 +275,23 @@ fn main() {
                         Ok(out) => {
                             let ratio = out.throughput_ratio();
                             if ratio > prev + MONOTONIC_TOLERANCE {
-                                eprintln!(
-                                    "{preset}/{}: prefix {i} ratio {ratio:.3} improved \
+                                log(
+                                    Level::Error,
+                                    format!(
+                                        "{preset}/{}: prefix {i} ratio {ratio:.3} improved \
 past {prev:.3}",
-                                    k.name
+                                        k.name
+                                    ),
                                 );
                                 monotonic_violations += 1;
                             }
                             prev = prev.min(ratio);
                         }
                         Err(e) => {
-                            eprintln!("{preset}/{} prefix {i}: ABORT {e}", k.name);
+                            log(
+                                Level::Error,
+                                format!("{preset}/{} prefix {i}: ABORT {e}", k.name),
+                            );
                             aborted += 1;
                         }
                     }
@@ -420,9 +440,19 @@ mean throughput ratio {:.3}",
         );
     }
     json.push_str("  ]\n}\n");
-    match std::fs::write(&out_path, &json) {
+    let seed_set = seeds
+        .iter()
+        .map(|s| format!("{s:#x}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let artifact = Envelope::new("soak")
+        .meta("seed_set", &seed_set)
+        .meta_int("triples", rows.len() as u64)
+        .metrics(tel.metrics().snapshot())
+        .wrap(&json);
+    match std::fs::write(&out_path, &artifact) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("could not write {out_path}: {e}"),
+        Err(e) => log(Level::Error, format!("could not write {out_path}: {e}")),
     }
 
     assert!(

@@ -6,15 +6,18 @@
 //!    in-memory sink, and the per-call cost of a *disabled* handle (one
 //!    `Option` discriminant branch; the closure never runs).
 //! 2. **Pipeline overhead, disabled** — wall time of
-//!    `simulate_instrumented` with `Telemetry::disabled()` versus the
-//!    plain `simulate`, min-of-N per kernel. This is the zero-cost
-//!    contract the library ships under: **the run fails (exit 1) if the
-//!    disabled overhead exceeds 2%.**
-//! 3. **Pipeline overhead, enabled** — the same comparison against an
-//!    in-memory sink, reported for information (not gated).
+//!    `simulate_instrumented` with `Telemetry::disabled()` (every pillar
+//!    off: sink, metrics registry, flight recorder) versus the plain
+//!    `simulate`, min-of-N per kernel. This is the zero-cost contract the
+//!    library ships under: **the run fails (exit 1) if the disabled
+//!    overhead exceeds 2%.**
+//! 3. **Pipeline overhead, enabled** — the same comparison with the event
+//!    sink on, the metrics registry on (sink off), and the flight
+//!    recorder on (sink off), each reported for information (not gated).
 //!
 //! A machine-readable copy is written as JSON (first CLI argument,
-//! default `telemetry_overhead.json`) for the CI artifact upload.
+//! default `BENCH_telemetry_overhead.json`) for the CI artifact upload
+//! and the `bench_compare` absolute overhead gate.
 //!
 //! Run with: `cargo run --release -p dsagen-bench --bin telemetry_overhead`
 
@@ -24,11 +27,12 @@ use std::time::Instant;
 
 use dsagen::{compile, CompileOptions};
 use dsagen_adg::{presets, Adg};
+use dsagen_bench::envelope::Envelope;
 use dsagen_bench::rule;
 use dsagen_dfg::Kernel;
 use dsagen_scheduler::SchedulerConfig;
 use dsagen_sim::{simulate, simulate_instrumented, SimConfig};
-use dsagen_telemetry::{EventData, Telemetry};
+use dsagen_telemetry::{log, EventData, FlightRecorder, Level, MetricsRegistry, Telemetry};
 use dsagen_workloads::{machsuite, polybench};
 
 /// Interleaved measurement rounds per kernel; each round times every mode
@@ -49,8 +53,12 @@ struct Row {
     /// Median of per-round `disabled/plain` ratios (paired, so clock
     /// drift across the run cancels).
     disabled_ratio: f64,
-    /// Median of per-round `enabled/plain` ratios.
+    /// Median of per-round `enabled/plain` ratios (event sink on).
     enabled_ratio: f64,
+    /// Median of per-round ratios with only the metrics registry on.
+    metrics_ratio: f64,
+    /// Median of per-round ratios with only the flight recorder on.
+    recorder_ratio: f64,
     events: usize,
 }
 
@@ -60,6 +68,12 @@ impl Row {
     }
     fn enabled_overhead_pct(&self) -> f64 {
         (self.enabled_ratio - 1.0) * 100.0
+    }
+    fn metrics_overhead_pct(&self) -> f64 {
+        (self.metrics_ratio - 1.0) * 100.0
+    }
+    fn recorder_overhead_pct(&self) -> f64 {
+        (self.recorder_ratio - 1.0) * 100.0
     }
 }
 
@@ -104,6 +118,8 @@ fn bench_kernel(adg: &Adg, kernel: &Kernel) -> Row {
     let cfg = SimConfig::default();
     let off = Telemetry::disabled();
     let on = Telemetry::in_memory();
+    let with_metrics = Telemetry::disabled().with_metrics(MetricsRegistry::enabled());
+    let with_recorder = Telemetry::disabled().with_recorder(FlightRecorder::enabled());
 
     let run_plain = || {
         simulate(adg, &c.version, &c.schedule, &c.eval, c.config_path_len, &cfg)
@@ -125,54 +141,53 @@ fn bench_kernel(adg: &Adg, kernel: &Kernel) -> Row {
         .cycles
     };
 
-    // Warm-up: touch every path once before timing.
-    black_box(run_plain());
-    black_box(run_with(&off));
-    black_box(run_with(&on));
+    // The five modes, one timing closure each: plain `simulate`, then the
+    // instrumented path with every pillar off, the event sink on, only
+    // the metrics registry on, and only the flight recorder on.
+    let modes: [&dyn Fn() -> f64; 5] = [
+        &|| time_us(run_plain),
+        &|| time_us(|| run_with(&off)),
+        &|| time_us(|| run_with(&on)),
+        &|| time_us(|| run_with(&with_metrics)),
+        &|| time_us(|| run_with(&with_recorder)),
+    ];
 
-    // Interleaved rounds: each round times the three modes back to back,
-    // so the paired within-round ratios are immune to slow clock drift.
-    let (mut plain_us, mut disabled_us, mut enabled_us) =
-        (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-    let mut disabled_ratios = Vec::with_capacity(REPS as usize);
-    let mut enabled_ratios = Vec::with_capacity(REPS as usize);
-    for round in 0..REPS {
-        // Rotate the in-round order so no mode systematically occupies
-        // the first (cache-warm) or last (boost-decayed) slot.
-        let (p, d, e) = match round % 3 {
-            0 => {
-                let p = time_us(run_plain);
-                let d = time_us(|| run_with(&off));
-                let e = time_us(|| run_with(&on));
-                (p, d, e)
-            }
-            1 => {
-                let d = time_us(|| run_with(&off));
-                let e = time_us(|| run_with(&on));
-                let p = time_us(run_plain);
-                (p, d, e)
-            }
-            _ => {
-                let e = time_us(|| run_with(&on));
-                let p = time_us(run_plain);
-                let d = time_us(|| run_with(&off));
-                (p, d, e)
-            }
-        };
-        plain_us = plain_us.min(p);
-        disabled_us = disabled_us.min(d);
-        enabled_us = enabled_us.min(e);
-        disabled_ratios.push(d / p.max(1e-9));
-        enabled_ratios.push(e / p.max(1e-9));
+    // Warm-up: touch every path once before timing.
+    for mode in &modes {
+        black_box(mode());
     }
+
+    // Interleaved rounds: each round times the five modes back to back,
+    // so the paired within-round ratios are immune to slow clock drift.
+    // The starting mode rotates per round so no mode systematically
+    // occupies the first (cache-warm) or last (boost-decayed) slot.
+    let mut min_us = [f64::INFINITY; 5];
+    let mut ratios: [Vec<f64>; 4] = std::array::from_fn(|_| Vec::with_capacity(REPS as usize));
+    for round in 0..REPS as usize {
+        let mut round_us = [0.0f64; 5];
+        for k in 0..modes.len() {
+            let mode = (round + k) % modes.len();
+            round_us[mode] = modes[mode]();
+        }
+        let plain = round_us[0].max(1e-9);
+        for (mode, &us) in round_us.iter().enumerate() {
+            min_us[mode] = min_us[mode].min(us);
+            if mode > 0 {
+                ratios[mode - 1].push(us / plain);
+            }
+        }
+    }
+    let [disabled_ratios, enabled_ratios, metrics_ratios, recorder_ratios] = ratios;
 
     Row {
         kernel: kernel.name.clone(),
-        plain_us,
-        disabled_us,
-        enabled_us,
+        plain_us: min_us[0],
+        disabled_us: min_us[1],
+        enabled_us: min_us[2],
         disabled_ratio: median(disabled_ratios),
         enabled_ratio: median(enabled_ratios),
+        metrics_ratio: median(metrics_ratios),
+        recorder_ratio: median(recorder_ratios),
         events: on.events().len(),
     }
 }
@@ -220,6 +235,7 @@ fn to_json(rows: &[Row], enabled_eps: f64, disabled_ns: f64, aggregate_pct: f64)
             s,
             "    {{\"kernel\": {:?}, \"plain_us\": {:.1}, \"disabled_us\": {:.1}, \
 \"enabled_us\": {:.1}, \"disabled_overhead_pct\": {:.3}, \"enabled_overhead_pct\": {:.3}, \
+\"metrics_overhead_pct\": {:.3}, \"recorder_overhead_pct\": {:.3}, \
 \"events\": {}}}{}",
             r.kernel,
             r.plain_us,
@@ -227,6 +243,8 @@ fn to_json(rows: &[Row], enabled_eps: f64, disabled_ns: f64, aggregate_pct: f64)
             r.enabled_us,
             r.disabled_overhead_pct(),
             r.enabled_overhead_pct(),
+            r.metrics_overhead_pct(),
+            r.recorder_overhead_pct(),
             r.events,
             if i + 1 < rows.len() { "," } else { "" },
         );
@@ -238,7 +256,7 @@ fn to_json(rows: &[Row], enabled_eps: f64, disabled_ns: f64, aggregate_pct: f64)
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "telemetry_overhead.json".to_string());
+        .unwrap_or_else(|| "BENCH_telemetry_overhead.json".to_string());
 
     println!("TELEMETRY OVERHEAD: event throughput and pipeline cost, on vs off");
     println!("{REPS} reps per mode (min-of-N), gate: disabled overhead < {MAX_DISABLED_OVERHEAD_PCT}%");
@@ -250,8 +268,9 @@ fn main() {
     );
     rule(86);
     println!(
-        "{:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>7}",
-        "kernel", "plain-us", "off-us", "on-us", "off-ovh%", "on-ovh%", "events"
+        "{:>12} {:>10} {:>10} {:>10} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "kernel", "plain-us", "off-us", "on-us", "off-ovh%", "on-ovh%", "reg-ovh%", "rec-ovh%",
+        "events"
     );
     rule(86);
 
@@ -260,13 +279,15 @@ fn main() {
     for kernel in &kernels {
         let r = bench_kernel(&adg, kernel);
         println!(
-            "{:>12} {:>12.1} {:>12.1} {:>12.1} {:>10.3} {:>10.3} {:>7}",
+            "{:>12} {:>10.1} {:>10.1} {:>10.1} {:>9.3} {:>8.3} {:>8.3} {:>8.3} {:>7}",
             r.kernel,
             r.plain_us,
             r.disabled_us,
             r.enabled_us,
             r.disabled_overhead_pct(),
             r.enabled_overhead_pct(),
+            r.metrics_overhead_pct(),
+            r.recorder_overhead_pct(),
             r.events,
         );
         rows.push(r);
@@ -286,15 +307,22 @@ fn main() {
     println!("aggregate disabled-telemetry overhead: {aggregate_pct:.3}%");
 
     let json = to_json(&rows, enabled_eps, disabled_ns, aggregate_pct);
-    match std::fs::write(&out_path, &json) {
+    let artifact = Envelope::new("telemetry_overhead")
+        .meta_int("reps", u64::from(REPS))
+        .meta_num("gate_pct", MAX_DISABLED_OVERHEAD_PCT)
+        .wrap(&json);
+    match std::fs::write(&out_path, &artifact) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("could not write {out_path}: {e}"),
+        Err(e) => log(Level::Error, format!("could not write {out_path}: {e}")),
     }
 
     if aggregate_pct > MAX_DISABLED_OVERHEAD_PCT {
-        eprintln!(
-            "FAIL: disabled-telemetry overhead {aggregate_pct:.3}% exceeds the \
+        log(
+            Level::Error,
+            format!(
+                "FAIL: disabled-telemetry overhead {aggregate_pct:.3}% exceeds the \
 {MAX_DISABLED_OVERHEAD_PCT}% gate"
+            ),
         );
         std::process::exit(1);
     }

@@ -22,7 +22,7 @@ use dsagen_adg::presets;
 use dsagen_bench::rule;
 use dsagen_scheduler::SchedulerConfig;
 use dsagen_sim::SimConfig;
-use dsagen_telemetry::{chrome_trace, jsonl, Telemetry};
+use dsagen_telemetry::{chrome_trace, jsonl, log, Level, Telemetry};
 use dsagen_workloads::{dsp, machsuite, polybench};
 
 fn main() {
@@ -78,11 +78,11 @@ fn main() {
     let json_path = format!("{prefix}.json");
     let jsonl_path = format!("{prefix}.jsonl");
     if let Err(e) = std::fs::write(&json_path, chrome_trace(&events)) {
-        eprintln!("could not write {json_path}: {e}");
+        log(Level::Error, format!("could not write {json_path}: {e}"));
         std::process::exit(1);
     }
     if let Err(e) = std::fs::write(&jsonl_path, jsonl(&events)) {
-        eprintln!("could not write {jsonl_path}: {e}");
+        log(Level::Error, format!("could not write {jsonl_path}: {e}"));
         std::process::exit(1);
     }
     println!(

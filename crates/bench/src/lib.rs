@@ -3,6 +3,7 @@
 
 #![warn(missing_docs)]
 
+pub mod envelope;
 pub mod json;
 
 use dsagen::{compile, Compiled, CompileOptions};

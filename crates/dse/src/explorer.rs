@@ -23,8 +23,8 @@ use dsagen_faults::FaultSchedule;
 use dsagen_hwgen::{generate_config_paths, verify_round_trip_timed};
 use dsagen_model::{objective, AreaPowerModel, HwCost, PerfModel};
 use dsagen_scheduler::{
-    evaluate as evaluate_schedule, repair_with_escalation, schedule, Problem, Schedule,
-    SchedulerConfig,
+    evaluate as evaluate_schedule, repair_with_escalation_instrumented, schedule_instrumented,
+    Problem, Schedule, SchedulerConfig,
 };
 use dsagen_telemetry::{EventData, Telemetry};
 use rand::rngs::StdRng;
@@ -572,6 +572,27 @@ impl Explorer {
     /// Emits one `dse/iteration` event for a completed step. Free when
     /// telemetry is disabled (a single branch; the closure never runs).
     fn emit_iter(&self, rec: &IterRecord) {
+        let m = self.telemetry.metrics();
+        if m.is_enabled() {
+            m.add("dse.iterations", 1);
+            if rec.accepted {
+                m.add("dse.accepted", 1);
+            }
+            if let Some(reason) = rec.rejected_reason {
+                m.add(&format!("dse.rejections.{reason}"), 1);
+            }
+        }
+        if let Some(reason) = rec.rejected_reason {
+            self.telemetry.recorder().record("dse", || {
+                (
+                    "rejected".to_string(),
+                    format!(
+                        "iter={} shard={} reason={reason} objective={:.6}",
+                        rec.iter, self.shard_index, rec.objective
+                    ),
+                )
+            });
+        }
         let shard = self.shard_index;
         self.telemetry.emit(|| {
             let mut ev = EventData::new("dse", "iteration")
@@ -631,6 +652,13 @@ impl Explorer {
                 //    mutation restored the previous fingerprint.
                 if self.cfg.use_cache {
                     if let Some(entry) = self.cache.lookup(adg_fp, ck_hash) {
+                        self.telemetry.metrics().add("dse.cache.hits", 1);
+                        self.telemetry.recorder().record("dse", || {
+                            (
+                                "cache_hit".to_string(),
+                                format!("kernel={ki} version={vi} kind=exact"),
+                            )
+                        });
                         let cached_sched = entry.schedule.clone();
                         let cached_perf = entry.perf;
                         let cached_fp = entry.footprint;
@@ -672,6 +700,7 @@ impl Explorer {
                                 // through to a full pass (whose result is
                                 // verified again below).
                                 self.config_rejections += 1;
+                                self.telemetry.metrics().add("dse.config_rejections", 1);
                                 None
                             } else {
                                 let est = self.perf_model.estimate(
@@ -688,6 +717,13 @@ impl Explorer {
                     };
                     if let Some((sched, perf, fp)) = rebased {
                         self.cache.note_footprint_hit();
+                        self.telemetry.metrics().add("dse.cache.hits", 1);
+                        self.telemetry.recorder().record("dse", || {
+                            (
+                                "cache_hit".to_string(),
+                                format!("kernel={ki} version={vi} kind=footprint"),
+                            )
+                        });
                         self.cache.insert(
                             adg_fp,
                             ck_hash,
@@ -703,23 +739,32 @@ impl Explorer {
                         continue;
                     }
                     self.cache.note_miss();
+                    self.telemetry.metrics().add("dse.cache.misses", 1);
                 }
 
                 // 3) Full stochastic scheduling pass.
                 self.sched_invocations += 1;
+                self.telemetry.metrics().add("dse.sched_invocations", 1);
                 let result = if self.cfg.use_repair {
                     match self.schedules.remove(&key) {
                         // Repair with bounded retry-with-escalation: a
                         // fault- or mutation-degraded graph gets a second,
                         // doubled-budget attempt before the version is
                         // written off as illegal.
-                        Some(prev) => {
-                            repair_with_escalation(&self.adg, version, &prev, &sched_cfg, 2)
+                        Some(prev) => repair_with_escalation_instrumented(
+                            &self.adg,
+                            version,
+                            &prev,
+                            &sched_cfg,
+                            2,
+                            &self.telemetry,
+                        ),
+                        None => {
+                            schedule_instrumented(&self.adg, version, &sched_cfg, &self.telemetry)
                         }
-                        None => schedule(&self.adg, version, &sched_cfg),
                     }
                 } else {
-                    schedule(&self.adg, version, &sched_cfg)
+                    schedule_instrumented(&self.adg, version, &sched_cfg, &self.telemetry)
                 };
                 let mut perf_out = None;
                 if result.is_legal() {
@@ -729,14 +774,21 @@ impl Explorer {
                     // as a first-class config rejection, never an undefined
                     // simulation.
                     let problem = Problem::new(&self.adg, version);
-                    if verify_round_trip_timed(&problem, &result.schedule, &result.eval).is_ok() {
-                        let est = self.perf_model.estimate(
-                            &self.adg,
-                            version,
-                            &result.schedule,
-                            &result.eval,
-                            config_len,
-                        );
+                    let verified = {
+                        let _vs = self.telemetry.span("config", "verify");
+                        verify_round_trip_timed(&problem, &result.schedule, &result.eval).is_ok()
+                    };
+                    if verified {
+                        let est = {
+                            let _ms = self.telemetry.span("model", "estimate");
+                            self.perf_model.estimate(
+                                &self.adg,
+                                version,
+                                &result.schedule,
+                                &result.eval,
+                                config_len,
+                            )
+                        };
                         let perf = est.perf();
                         perf_out = Some(perf);
                         if best.is_none_or(|(_, p)| perf > p) {
@@ -744,6 +796,7 @@ impl Explorer {
                         }
                     } else {
                         self.config_rejections += 1;
+                        self.telemetry.metrics().add("dse.config_rejections", 1);
                     }
                 }
                 let fp = if perf_out.is_some() {
@@ -982,13 +1035,21 @@ impl Explorer {
         }
         let config_rejections_before = self.config_rejections;
         let forced_panic = self.cfg.panic_at_iter;
-        let point = catch_unwind(AssertUnwindSafe(|| {
+        let point = match catch_unwind(AssertUnwindSafe(|| {
             if forced_panic == Some(iter) {
                 panic!("dse test hook: forced panic at iteration {iter}");
             }
             self.evaluate()
-        }))
-        .map_err(|_| RejectReason::Panicked)?;
+        })) {
+            Ok(point) => point,
+            Err(_) => {
+                self.telemetry
+                    .recorder()
+                    .record("dse", || ("panicked".to_string(), format!("iter={iter}")));
+                let _ = self.telemetry.recorder().dump_on_error("dse_panicked");
+                return Err(RejectReason::Panicked);
+            }
+        };
         // Any encoder/decoder disagreement during this evaluation rejects
         // the whole candidate: a design we cannot provably program is a
         // design we refuse to score.
@@ -997,6 +1058,13 @@ impl Explorer {
         }
         if let Some(budget_ms) = self.cfg.eval_budget_ms {
             if started.elapsed() > Duration::from_millis(budget_ms) {
+                self.telemetry.recorder().record("dse", || {
+                    (
+                        "timed_out".to_string(),
+                        format!("iter={iter} budget_ms={budget_ms}"),
+                    )
+                });
+                let _ = self.telemetry.recorder().dump_on_error("dse_timed_out");
                 return Err(RejectReason::TimedOut);
             }
         }
@@ -1220,7 +1288,10 @@ impl Explorer {
             perf_model: PerfModel::default(),
             used_ops: self.used_ops,
             shard_index: shard,
-            telemetry: self.telemetry.clone(),
+            // Shards share the event sink and flight recorder but fork the
+            // metrics registry, so per-shard counters merge deterministically
+            // in shard index order at reduction time.
+            telemetry: self.telemetry.fork_shard(),
         }
     }
 
@@ -1321,10 +1392,15 @@ impl Explorer {
         }
 
         // Aggregate counters from every shard, then adopt the winner.
+        // Survivors are sorted by shard index, so metric absorption is
+        // order-deterministic (and every merge operator commutes anyway).
         for (_, ex, _) in &survivors {
             self.cache.absorb_stats(&ex.cache.stats());
             self.sched_invocations += ex.sched_invocations();
             self.config_rejections += ex.config_rejections();
+            self.telemetry
+                .metrics()
+                .absorb(&ex.telemetry.metrics().snapshot());
         }
         let (_, wex, wres) = survivors.swap_remove(win);
         self.adg = wex.adg;

@@ -7,6 +7,7 @@ use rand::{Rng, SeedableRng};
 
 use dsagen_adg::Adg;
 use dsagen_dfg::CompiledKernel;
+use dsagen_telemetry::Telemetry;
 
 use crate::{evaluate, route, Evaluation, Problem, Schedule, Weights};
 
@@ -119,9 +120,25 @@ impl ScheduleResult {
 /// ```
 #[must_use]
 pub fn schedule(adg: &Adg, kernel: &CompiledKernel, cfg: &SchedulerConfig) -> ScheduleResult {
+    schedule_instrumented(adg, kernel, cfg, &Telemetry::disabled())
+}
+
+/// [`schedule`] with observability: the path search emits a
+/// `sched/path_search` span and `scheduler.path_search.*` metrics
+/// (invocations, iterations, victims, candidate expansions) into `tel`.
+/// With a disabled handle this is byte-for-byte the same search as
+/// [`schedule`] — instrumentation is a handful of `Option` branches and
+/// never touches the RNG.
+#[must_use]
+pub fn schedule_instrumented(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    cfg: &SchedulerConfig,
+    tel: &Telemetry,
+) -> ScheduleResult {
     let problem = Problem::new(adg, kernel);
     let initial = Schedule::empty(&problem);
-    run(&problem, initial, cfg)
+    run(&problem, initial, cfg, tel)
 }
 
 /// Repairs a previous schedule against a (possibly mutated or
@@ -134,8 +151,20 @@ pub fn schedule(adg: &Adg, kernel: &CompiledKernel, cfg: &SchedulerConfig) -> Sc
 pub fn repair(
     adg: &Adg,
     kernel: &CompiledKernel,
+    previous: Schedule,
+    cfg: &SchedulerConfig,
+) -> ScheduleResult {
+    repair_instrumented(adg, kernel, previous, cfg, &Telemetry::disabled())
+}
+
+/// [`repair`] with observability (see [`schedule_instrumented`]).
+#[must_use]
+pub fn repair_instrumented(
+    adg: &Adg,
+    kernel: &CompiledKernel,
     mut previous: Schedule,
     cfg: &SchedulerConfig,
+    tel: &Telemetry,
 ) -> ScheduleResult {
     let problem = Problem::new(adg, kernel);
     let routes_before = previous.routes.len();
@@ -157,7 +186,7 @@ pub fn repair(
     } else {
         RepairOutcome::Degraded { dropped, rerouted }
     };
-    let mut result = run(&problem, previous, cfg);
+    let mut result = run(&problem, previous, cfg, tel);
     result.outcome = outcome;
     result
 }
@@ -176,6 +205,20 @@ pub fn repair_with_escalation(
     cfg: &SchedulerConfig,
     max_attempts: u32,
 ) -> ScheduleResult {
+    repair_with_escalation_instrumented(adg, kernel, previous, cfg, max_attempts, &Telemetry::disabled())
+}
+
+/// [`repair_with_escalation`] with observability (see
+/// [`schedule_instrumented`]).
+#[must_use]
+pub fn repair_with_escalation_instrumented(
+    adg: &Adg,
+    kernel: &CompiledKernel,
+    previous: &Schedule,
+    cfg: &SchedulerConfig,
+    max_attempts: u32,
+    tel: &Telemetry,
+) -> ScheduleResult {
     const ITER_CAP: u32 = 4096;
     let mut best: Option<ScheduleResult> = None;
     let mut iters = cfg.max_iters.max(1);
@@ -185,7 +228,7 @@ pub fn repair_with_escalation(
             seed: cfg.seed.wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
             ..*cfg
         };
-        let result = repair(adg, kernel, previous.clone(), &attempt_cfg);
+        let result = repair_instrumented(adg, kernel, previous.clone(), &attempt_cfg, tel);
         let legal = result.is_legal();
         let better = best
             .as_ref()
@@ -204,7 +247,7 @@ pub fn repair_with_escalation(
     // The loop above always runs at least once, so `best` is set; the
     // fallback keeps this function panic-free even if that invariant is
     // ever broken by a refactor.
-    best.unwrap_or_else(|| repair(adg, kernel, previous.clone(), cfg))
+    best.unwrap_or_else(|| repair_instrumented(adg, kernel, previous.clone(), cfg, tel))
 }
 
 /// Repairs `previous` against a (possibly masked) `adg` while touching
@@ -271,7 +314,7 @@ pub fn repair_regions(
     } else {
         RepairOutcome::Degraded { dropped, rerouted }
     };
-    let mut result = run_scoped(&problem, sched, cfg, &allowed);
+    let mut result = run_scoped(&problem, sched, cfg, &allowed, &Telemetry::disabled());
     result.outcome = outcome;
     Some(result)
 }
@@ -336,8 +379,12 @@ fn run_scoped(
     mut sched: Schedule,
     cfg: &SchedulerConfig,
     allowed: &[bool],
+    tel: &Telemetry,
 ) -> ScheduleResult {
+    let mut span = tel.span("sched", "path_search_scoped");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut expansions: u64 = 0;
+    let mut victims_total: u64 = 0;
     let allowed_idx: Vec<usize> = (0..problem.entities.len())
         .filter(|i| allowed[*i])
         .collect();
@@ -349,7 +396,7 @@ fn run_scoped(
         .filter(|i| sched.placement[*i].is_none())
         .collect();
     for v in unplaced {
-        place_best(problem, &mut sched, v, cfg, &mut rng);
+        expansions += place_best(problem, &mut sched, v, cfg, &mut rng);
     }
     route_missing_scoped(problem, &mut sched, cfg, allowed);
 
@@ -359,6 +406,7 @@ fn run_scoped(
     let mut iterations = 0u32;
 
     if allowed_idx.is_empty() {
+        span.end();
         return ScheduleResult {
             schedule: best,
             eval: best_eval,
@@ -370,11 +418,12 @@ fn run_scoped(
     for iter in 0..cfg.max_iters {
         iterations = iter + 1;
         let victims = pick_victims_scoped(problem, &sched, &mut rng, allowed, &allowed_idx);
+        victims_total += victims.len() as u64;
         for v in &victims {
             sched.unplace(problem, *v);
         }
         for v in victims {
-            place_best(problem, &mut sched, v, cfg, &mut rng);
+            expansions += place_best(problem, &mut sched, v, cfg, &mut rng);
         }
         ripup_congested_scoped(problem, &mut sched, &mut rng, allowed);
         route_missing_scoped(problem, &mut sched, cfg, allowed);
@@ -397,6 +446,11 @@ fn run_scoped(
         }
     }
 
+    flush_search_metrics(tel, iterations, victims_total, expansions, best_eval.feasible);
+    span.arg("iterations", iterations);
+    span.arg("expansions", expansions);
+    span.arg("feasible", best_eval.feasible);
+    span.end();
     ScheduleResult {
         schedule: best,
         eval: best_eval,
@@ -555,11 +609,22 @@ fn pick_victims_scoped(
     victims
 }
 
-fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> ScheduleResult {
+fn run(
+    problem: &Problem<'_>,
+    mut sched: Schedule,
+    cfg: &SchedulerConfig,
+    tel: &Telemetry,
+) -> ScheduleResult {
+    let mut span = tel.span("sched", "path_search");
     let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut expansions: u64 = 0;
+    let mut victims_total: u64 = 0;
 
     // Initial completion: place every unplaced entity greedily.
-    complete(problem, &mut sched, cfg, &mut rng);
+    {
+        let _init = tel.span("sched", "initial_place");
+        expansions += complete(problem, &mut sched, cfg, &mut rng);
+    }
     let mut best_eval = evaluate(problem, &sched, &cfg.weights);
     let mut best = sched.clone();
     let mut stale = 0u32;
@@ -570,11 +635,12 @@ fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> Sch
         // "Unmap one or more mapped instructions (or streams)" — victims
         // biased toward entities involved in violations.
         let victims = pick_victims(problem, &sched, &mut rng);
+        victims_total += victims.len() as u64;
         for v in &victims {
             sched.unplace(problem, *v);
         }
         for v in victims {
-            place_best(problem, &mut sched, v, cfg, &mut rng);
+            expansions += place_best(problem, &mut sched, v, cfg, &mut rng);
         }
         // Rip-up-and-reroute: drop routes crossing congested links so the
         // congestion-aware router can find detours (PathFinder-style
@@ -601,6 +667,11 @@ fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> Sch
         }
     }
 
+    flush_search_metrics(tel, iterations, victims_total, expansions, best_eval.feasible);
+    span.arg("iterations", iterations);
+    span.arg("expansions", expansions);
+    span.arg("feasible", best_eval.feasible);
+    span.end();
     ScheduleResult {
         schedule: best,
         eval: best_eval,
@@ -609,39 +680,71 @@ fn run(problem: &Problem<'_>, mut sched: Schedule, cfg: &SchedulerConfig) -> Sch
     }
 }
 
+/// Flushes one search run's locally accumulated counters into the metrics
+/// registry under the `scheduler.path_search.*` name space. A single call
+/// per run (not per iteration), so the hot loop pays only plain `u64`
+/// increments.
+fn flush_search_metrics(
+    tel: &Telemetry,
+    iterations: u32,
+    victims: u64,
+    expansions: u64,
+    feasible: bool,
+) {
+    let m = tel.metrics();
+    if !m.is_enabled() {
+        return;
+    }
+    m.add("scheduler.path_search.invocations", 1);
+    m.add("scheduler.path_search.iterations", u64::from(iterations));
+    m.add("scheduler.path_search.victims", victims);
+    m.add("scheduler.path_search.expansions", expansions);
+    m.observe("scheduler.path_search.iterations_per_run", u64::from(iterations));
+    if feasible {
+        m.add("scheduler.path_search.converged", 1);
+    }
+}
+
 /// Places every unplaced entity (ports first, then ops in index order,
 /// which is topological within each region) and routes everything.
+/// Returns the number of candidate placements evaluated.
 fn complete(
     problem: &Problem<'_>,
     sched: &mut Schedule,
     cfg: &SchedulerConfig,
     rng: &mut StdRng,
-) {
+) -> u64 {
+    let mut expansions = 0u64;
     let unplaced: Vec<usize> = (0..problem.entities.len())
         .filter(|i| sched.placement[*i].is_none())
         .collect();
     for v in unplaced {
-        place_best(problem, sched, v, cfg, rng);
+        expansions += place_best(problem, sched, v, cfg, rng);
     }
     route_missing(problem, sched, cfg);
+    expansions
 }
 
 /// "For each compatible PE (or memory): route this instruction's operands
 /// and dependences …; compute the objective …; commit to the PE which
 /// yields the highest objective."
+///
+/// Returns the number of candidate placements expanded (evaluated), the
+/// unit the `scheduler.path_search.expansions` metric counts in.
 fn place_best(
     problem: &Problem<'_>,
     sched: &mut Schedule,
     v: usize,
     cfg: &SchedulerConfig,
     rng: &mut StdRng,
-) {
+) -> u64 {
     let mut candidates = problem.candidates(&problem.entities[v]);
     if candidates.is_empty() {
-        return; // stays unplaced; priced by the objective
+        return 0; // stays unplaced; priced by the objective
     }
     candidates.shuffle(rng);
     candidates.truncate(cfg.candidates.max(1));
+    let expanded = candidates.len() as u64;
 
     let mut best_node = None;
     let mut best_obj = f64::INFINITY;
@@ -661,6 +764,7 @@ fn place_best(
         sched.placement[v] = Some(node);
         route_incident(problem, sched, v, cfg);
     }
+    expanded
 }
 
 /// Routes every virtual edge incident to `v` whose other endpoint is

@@ -643,6 +643,7 @@ fn run_to_completion(
     eval: &Evaluation,
     config_path_len: u32,
     cfg: &SimConfig,
+    tel: &dsagen_telemetry::Telemetry,
 ) -> (SimReport, SimTelemetry) {
     let problem = Problem::new(adg, kernel);
     let stream_mems = schedule.stream_memories(&problem);
@@ -658,10 +659,41 @@ fn run_to_completion(
         groups: &groups,
     };
     let mut core = EngineCore::new(kernel.regions.len(), config_path_len);
-    while core.tick(ctx, &[]) != Tick::Finished {}
+    // The tick loop is the simulator's hot path: count iterations in a
+    // plain local and flush metrics once after the run, so an enabled
+    // registry costs nothing per tick.
+    let mut tick_span = tel.span("sim", "tick_loop");
+    let mut ticks: u64 = 0;
+    while core.tick(ctx, &[]) != Tick::Finished {
+        ticks += 1;
+    }
     let report = core.report(kernel);
     let telemetry = core.telemetry(ctx, schedule);
+    tick_span.arg("ticks", ticks);
+    tick_span.arg("cycles", report.cycles);
+    tick_span.end();
+    flush_engine_metrics(tel, ticks, &report, groups.len() as u64);
     (report, telemetry)
+}
+
+/// One post-run flush of engine counters into the metrics registry. The
+/// tick loop itself never touches the registry; this keeps the enabled
+/// cost to a handful of map operations per simulation.
+fn flush_engine_metrics(
+    tel: &dsagen_telemetry::Telemetry,
+    ticks: u64,
+    report: &SimReport,
+    groups: u64,
+) {
+    let m = tel.metrics();
+    if !m.is_enabled() {
+        return;
+    }
+    m.add("sim.engine.runs", 1);
+    m.add("sim.engine.ticks", ticks);
+    m.add("sim.engine.cycles", report.cycles);
+    m.add("sim.engine.pipeline_groups", groups);
+    m.observe("sim.engine.cycles_per_run", report.cycles);
 }
 
 /// Simulates one kernel version end to end, after checking that the
@@ -689,7 +721,8 @@ pub fn try_simulate(
     cfg: &SimConfig,
 ) -> Result<SimReport, crate::SimError> {
     validate_schedule(adg, schedule)?;
-    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg).0)
+    let tel = dsagen_telemetry::Telemetry::disabled();
+    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg, &tel).0)
 }
 
 /// [`try_simulate`] plus full hardware counters.
@@ -706,7 +739,8 @@ pub fn try_simulate_collect(
     cfg: &SimConfig,
 ) -> Result<(SimReport, SimTelemetry), crate::SimError> {
     validate_schedule(adg, schedule)?;
-    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg))
+    let tel = dsagen_telemetry::Telemetry::disabled();
+    Ok(run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg, &tel))
 }
 
 /// Simulates one kernel version end to end.
@@ -755,15 +789,17 @@ pub fn simulate_instrumented(
     tel: &dsagen_telemetry::Telemetry,
 ) -> Result<(SimReport, SimTelemetry), crate::SimError> {
     let mut span = tel.span("phase", "simulate");
+    if let Err(e) = validate_schedule(adg, schedule) {
+        span.arg("error", e.to_string());
+        span.end();
+        tel.recorder().record("sim", || {
+            ("sim_error".to_string(), format!("error={e}"))
+        });
+        let _ = tel.recorder().dump_on_error("sim_error");
+        return Err(e);
+    }
     let (report, telemetry) =
-        match try_simulate_collect(adg, kernel, schedule, eval, config_path_len, cfg) {
-            Ok(pair) => pair,
-            Err(e) => {
-                span.arg("error", e.to_string());
-                span.end();
-                return Err(e);
-            }
-        };
+        run_to_completion(adg, kernel, schedule, eval, config_path_len, cfg, tel);
     span.arg("cycles", report.cycles);
     span.arg("pes", telemetry.pes.len());
     span.arg("streams", telemetry.streams.len());

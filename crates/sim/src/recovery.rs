@@ -470,6 +470,13 @@ pub fn run_with_recovery(
                 if events.len() >= policy.max_recoveries {
                     span.arg("outcome", "budget-exhausted");
                     span.end();
+                    tel.recorder().record("recovery", || {
+                        (
+                            "budget_exhausted".to_string(),
+                            format!("recoveries={}", events.len()),
+                        )
+                    });
+                    let _ = tel.recorder().dump_on_error("recovery_budget_exhausted");
                     return Err(RecoveryError::BudgetExhausted {
                         recoveries: events.len(),
                     });
@@ -485,6 +492,16 @@ pub fn run_with_recovery(
                             "domain",
                             domain.map_or_else(|| "none".to_string(), |d| d.to_string()),
                         )
+                });
+                tel.metrics().add("recovery.faults_detected", 1);
+                tel.recorder().record("recovery", || {
+                    (
+                        "detect".to_string(),
+                        format!(
+                            "kind={} victim={} at={}",
+                            fault.kind, fault.victim, fault.detected_at
+                        ),
+                    )
                 });
 
                 // 1. Checkpoint: pick the rollback target before anything
@@ -542,6 +559,14 @@ pub fn run_with_recovery(
                                 .arg("legal", legal)
                                 .arg("scoped", scoped)
                         });
+                        tel.metrics()
+                            .add(&format!("recovery.rung.{rung}.attempts"), 1);
+                        tel.recorder().record("recovery", || {
+                            (
+                                "rung".to_string(),
+                                format!("rung={rung} legal={legal} scoped={scoped}"),
+                            )
+                        });
                         if let Ok((res, masked_adg)) = attempt {
                             if res.is_legal() {
                                 // Containment proof: a scoped repair must
@@ -593,6 +618,22 @@ pub fn run_with_recovery(
                                     .arg("legal", legal)
                                     .arg("scoped", scoped)
                             });
+                            tel.metrics().add(
+                                &format!(
+                                    "recovery.rung.{}.attempts",
+                                    RepairRung::PartialReplace
+                                ),
+                                1,
+                            );
+                            tel.recorder().record("recovery", || {
+                                (
+                                    "rung".to_string(),
+                                    format!(
+                                        "rung={} legal={legal} scoped={scoped}",
+                                        RepairRung::PartialReplace
+                                    ),
+                                )
+                            });
                             if let Ok((res, masked_adg)) = attempt {
                                 if res.is_legal() {
                                     if scoped
@@ -621,6 +662,8 @@ pub fn run_with_recovery(
                             rspan.arg("iterations", u64::from(res.iterations));
                             rspan.arg("legal", true);
                             rspan.end();
+                            tel.metrics()
+                                .add(&format!("recovery.rung.{rung}.chosen"), 1);
                             masked_resources.extend(mask.describe(&adg_now));
                             adg_now = masked_adg;
                             (
@@ -665,6 +708,17 @@ pub fn run_with_recovery(
                             let Some((res, degraded_adg, mask_desc)) = found else {
                                 span.arg("outcome", "unrecoverable");
                                 span.end();
+                                tel.recorder().record("recovery", || {
+                                    (
+                                        "unrecoverable".to_string(),
+                                        format!(
+                                            "kind={} victim={} iterations_spent={spent}",
+                                            fault.kind, fault.victim
+                                        ),
+                                    )
+                                });
+                                let _ =
+                                    tel.recorder().dump_on_error("recovery_unrecoverable");
                                 return Err(RecoveryError::Unrecoverable {
                                     fault: Box::new(fault),
                                     reason: format!(
@@ -676,6 +730,16 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                             degraded = true;
                             masked_resources.extend(mask_desc);
                             adg_now = degraded_adg;
+                            tel.metrics().add("recovery.rung.degraded.chosen", 1);
+                            tel.recorder().record("recovery", || {
+                                (
+                                    "degraded_entered".to_string(),
+                                    format!(
+                                        "kind={} victim={}",
+                                        fault.kind, fault.victim
+                                    ),
+                                )
+                            });
                             tel.emit(|| {
                                 dsagen_telemetry::EventData::new(
                                     "recovery/degraded",
@@ -707,6 +771,10 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                         Err(e) => {
                             span.arg("outcome", "verify-failed");
                             span.end();
+                            tel.recorder().record("recovery", || {
+                                ("verify_failed".to_string(), format!("error={e}"))
+                            });
+                            let _ = tel.recorder().dump_on_error("recovery_verify");
                             return Err(RecoveryError::Verify {
                                 fault: Box::new(fault),
                                 reason: e.to_string(),
@@ -720,6 +788,13 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                 if srep.state != SessionState::Verified {
                     span.arg("outcome", "reprogram-failed");
                     span.end();
+                    tel.recorder().record("recovery", || {
+                        (
+                            "reprogram_failed".to_string(),
+                            format!("state={:?}", srep.state),
+                        )
+                    });
+                    let _ = tel.recorder().dump_on_error("recovery_reprogram");
                     return Err(RecoveryError::Reprogram {
                         fault: Box::new(fault),
                         error: srep
@@ -767,6 +842,27 @@ surviving fabric reschedules legally ({spent} iterations spent)"
                     reprogram_cycles,
                 };
                 overhead += event.overhead_cycles();
+                {
+                    let m = tel.metrics();
+                    if m.is_enabled() {
+                        m.add("recovery.recoveries", 1);
+                        m.add("recovery.replayed_cycles", event.replayed_cycles);
+                        m.add(
+                            "recovery.replayed_cycles_saved",
+                            event.replayed_cycles_saved,
+                        );
+                        m.observe("recovery.mttr_cycles", event.mttr_cycles());
+                    }
+                }
+                tel.recorder().record("recovery", || {
+                    (
+                        "resume".to_string(),
+                        format!(
+                            "action={} replayed={} saved={}",
+                            event.action, event.replayed_cycles, event.replayed_cycles_saved
+                        ),
+                    )
+                });
                 tel.emit(|| {
                     dsagen_telemetry::EventData::new("recovery", "resume")
                         .arg("action", event.action.to_string())

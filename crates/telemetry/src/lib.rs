@@ -20,6 +20,22 @@
 //! * [`log`] — leveled stderr logging (gated by `DSAGEN_LOG`) replacing
 //!   ad-hoc `eprintln!` across the workspace.
 //!
+//! Three observability pillars build on the event layer (each zero-cost
+//! when disabled via the same one-branch `Option` pattern):
+//!
+//! * [`MetricsRegistry`] ([`metrics`]) — typed counters / gauges /
+//!   log-linear histograms under a stable hierarchical name space,
+//!   accumulated per shard and merged deterministically.
+//! * [`profile`] ([`profiler`]) — a wall-time attribution tree folded
+//!   from recorded spans (the `--bin profile` flame report).
+//! * [`FlightRecorder`] ([`recorder`]) — a bounded ring of recent
+//!   structured events dumped as JSONL alongside terminal errors.
+//!
+//! A [`Telemetry`] handle carries all three: the event sink plus optional
+//! metrics/recorder sub-handles ([`Telemetry::with_metrics`],
+//! [`Telemetry::with_recorder`]), so the subsystems that already thread a
+//! handle get the whole layer without signature churn.
+//!
 //! # Example
 //!
 //! ```
@@ -49,6 +65,14 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+
+pub mod metrics;
+pub mod profiler;
+pub mod recorder;
+
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use profiler::{profile, ProfileNode, ProfileReport};
+pub use recorder::{FlightEvent, FlightRecorder};
 
 use std::fmt;
 use std::io::Write as _;
@@ -202,6 +226,11 @@ pub struct Event {
     pub name: String,
     /// Stable fingerprint of the emitting thread (Chrome-trace `tid`).
     pub tid: u64,
+    /// Number of enclosing open spans on the emitting thread when this
+    /// event began (0 = top level). Makes span nesting exact for the
+    /// profiler — microsecond-granular timestamps alone cannot
+    /// disambiguate zero-width spans on an interval boundary.
+    pub depth: u32,
     /// Arguments.
     pub args: Vec<(&'static str, Value)>,
 }
@@ -327,13 +356,19 @@ impl Inner {
 #[derive(Debug, Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Inner>>,
+    metrics: MetricsRegistry,
+    recorder: FlightRecorder,
 }
 
 impl Telemetry {
     /// A handle that records nothing, at (almost) no cost.
     #[must_use]
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            metrics: MetricsRegistry::disabled(),
+            recorder: FlightRecorder::disabled(),
+        }
     }
 
     /// A handle that accumulates events in memory; retrieve them with
@@ -345,6 +380,8 @@ impl Telemetry {
                 epoch: Instant::now(),
                 sink: Mutex::new(SinkImpl::Memory(Vec::new())),
             })),
+            metrics: MetricsRegistry::disabled(),
+            recorder: FlightRecorder::disabled(),
         }
     }
 
@@ -369,6 +406,53 @@ impl Telemetry {
                 epoch: Instant::now(),
                 sink: Mutex::new(SinkImpl::Boxed(sink)),
             })),
+            metrics: MetricsRegistry::disabled(),
+            recorder: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Attaches a metrics registry (builder style). The registry is
+    /// independent of the event sink: a handle can carry metrics with no
+    /// sink attached, and vice versa.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attaches a flight recorder (builder style).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: FlightRecorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached metrics registry (disabled by default). Recording
+    /// through a disabled registry is one branch.
+    #[inline]
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The attached flight recorder (disabled by default).
+    #[inline]
+    #[must_use]
+    pub fn recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The handle a DSE shard worker accumulates into: shares this
+    /// handle's event sink and flight recorder, but gets a **fresh**
+    /// metrics registry of the same enablement — the shard's counters are
+    /// merged back in shard index order ([`MetricsRegistry::absorb`]) so
+    /// the final snapshot is independent of thread scheduling.
+    #[must_use]
+    pub fn fork_shard(&self) -> Telemetry {
+        Telemetry {
+            inner: self.inner.clone(),
+            metrics: self.metrics.fork(),
+            recorder: self.recorder.clone(),
         }
     }
 
@@ -392,6 +476,7 @@ impl Telemetry {
             cat: data.cat,
             name: data.name,
             tid: current_tid(),
+            depth: span_depth(),
             args: data.args,
         });
     }
@@ -403,15 +488,20 @@ impl Telemetry {
     pub fn span(&self, cat: &'static str, name: impl Into<String>) -> Span {
         match &self.inner {
             None => Span { state: None },
-            Some(inner) => Span {
-                state: Some(SpanState {
-                    inner: Arc::clone(inner),
-                    cat,
-                    name: name.into(),
-                    start_us: us_since(inner.epoch),
-                    args: Vec::new(),
-                }),
-            },
+            Some(inner) => {
+                let depth = span_depth();
+                DEPTH.with(|d| d.set(depth + 1));
+                Span {
+                    state: Some(SpanState {
+                        inner: Arc::clone(inner),
+                        cat,
+                        name: name.into(),
+                        start_us: us_since(inner.epoch),
+                        depth,
+                        args: Vec::new(),
+                    }),
+                }
+            }
         }
     }
 
@@ -450,6 +540,17 @@ fn us_since(epoch: Instant) -> u64 {
     u64::try_from(epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+thread_local! {
+    /// Open-span count on this thread (shared across every enabled
+    /// handle: nesting is a property of the call stack, not the handle).
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// Current span nesting depth on this thread.
+fn span_depth() -> u32 {
+    DEPTH.with(std::cell::Cell::get)
+}
+
 /// A stable per-thread fingerprint (Chrome-trace `tid`).
 fn current_tid() -> u64 {
     use std::cell::Cell;
@@ -479,6 +580,7 @@ struct SpanState {
     cat: &'static str,
     name: String,
     start_us: u64,
+    depth: u32,
     args: Vec<(&'static str, Value)>,
 }
 
@@ -513,6 +615,7 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(s) = self.state.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
             let end_us = us_since(s.inner.epoch);
             s.inner.record(Event {
                 ts_us: s.start_us,
@@ -520,6 +623,7 @@ impl Drop for Span {
                 cat: s.cat,
                 name: s.name,
                 tid: current_tid(),
+                depth: s.depth,
                 args: s.args,
             });
         }

@@ -217,6 +217,50 @@ pub fn bicg() -> Kernel {
     k.build().expect("bicg is well-formed")
 }
 
+/// pipe-split — a live producer-consumer pipeline whose two stages touch
+/// *disjoint* memories: the matvec stage streams from main memory and
+/// forwards its row scalar, the scaling stage consumes it against
+/// scratchpad-resident weights. The stages share a pipeline group but no
+/// arrays or memory ports, so under a schedule that places them on
+/// disjoint fabric they land in separate recovery domains while executing
+/// concurrently — the shape that engages domain-sliced rollback (a fault
+/// in one stage rewinds only that stage; the other's replay is "saved").
+/// Soak/recovery fixture, not part of the paper's five-kernel slice.
+#[must_use]
+pub fn pipe_split() -> Kernel {
+    let n = 32u64;
+    let mut k = KernelBuilder::new("poly-pipe-split");
+    let a = k.array("a", BitWidth::B64, n * n, MemClass::MainMemory);
+    let x = k.array("x", BitWidth::B64, n, MemClass::MainMemory);
+    let w = k.array("w", BitWidth::B64, n, MemClass::Scratchpad);
+    let y = k.array("y", BitWidth::B64, n, MemClass::Scratchpad);
+
+    // Stage 0: per row i, tmp_i = Σ_j a[i][j]·x[j], forwarded (never
+    // stored) — main memory only.
+    let mut r0 = k.region("matvec", 1.0);
+    let i0 = r0.for_loop(TripCount::fixed(n), false);
+    let j0 = r0.for_loop(TripCount::fixed(n), false);
+    let va = r0.load(
+        a,
+        AffineExpr::var(i0).scaled(n as i64).plus(&AffineExpr::var(j0)),
+    );
+    let vx = r0.load(x, AffineExpr::var(j0));
+    let p = r0.bin(Opcode::FMul, va, vx);
+    let acc = r0.reduce(Opcode::FAdd, p, j0);
+    r0.yield_value(acc);
+    let r0i = k.finish_region(r0);
+
+    // Stage 1: y[i] = tmp_i · w[i] — scratchpad only.
+    let mut r1 = k.region("scale", 1.0);
+    let i1 = r1.for_loop(TripCount::fixed(n), true);
+    let tmp = r1.consume(r0i, 0);
+    let vw = r1.load(w, AffineExpr::var(i1));
+    let s = r1.bin(Opcode::FMul, tmp, vw);
+    r1.store(y, AffineExpr::var(i1), s);
+    k.finish_region(r1);
+    k.build().expect("pipe-split is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,9 +268,36 @@ mod tests {
 
     #[test]
     fn all_build() {
-        for k in [mm(), mm2(), mm3(), atax(), mvt(), bicg()] {
+        for k in [mm(), mm2(), mm3(), atax(), mvt(), bicg(), pipe_split()] {
             k.validate().unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }
+    }
+
+    #[test]
+    fn pipe_split_stages_forward_and_share_no_arrays() {
+        use dsagen_dfg::{SrcExpr, SrcStmt};
+        let k = pipe_split();
+        assert_eq!(k.regions.len(), 2);
+        assert!(KernelIdioms::analyze(&k).has_forwarding);
+        // Disjoint array footprints are what let the two stages land in
+        // separate recovery domains despite the live pipeline group.
+        let touched = |ri: usize| {
+            let mut ids: Vec<_> = k.regions[ri]
+                .iter_exprs()
+                .filter_map(|(_, e)| match e {
+                    SrcExpr::Load { array, .. } => Some(*array),
+                    _ => None,
+                })
+                .collect();
+            ids.extend(k.regions[ri].stmts.iter().filter_map(|s| match s {
+                SrcStmt::Store { array, .. } | SrcStmt::Update { array, .. } => Some(*array),
+                SrcStmt::Yield { .. } => None,
+            }));
+            ids
+        };
+        let (t0, t1) = (touched(0), touched(1));
+        assert!(!t0.is_empty() && !t1.is_empty());
+        assert!(t0.iter().all(|a| !t1.contains(a)));
     }
 
     #[test]

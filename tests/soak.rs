@@ -56,6 +56,7 @@ fn workloads() -> Vec<(&'static str, Kernel)> {
         ("bicg", dsagen::workloads::polybench::bicg()),
         ("mm16", dsagen::workloads::machsuite::gemm_kernel("mm16", 16)),
         ("spmv-crs", dsagen::workloads::machsuite::spmv_crs()),
+        ("pipe-split", dsagen::workloads::polybench::pipe_split()),
     ]
 }
 
@@ -290,5 +291,58 @@ fn degraded_telemetry_spans_are_emitted_when_the_ladder_bottoms_out() {
     assert!(
         events.iter().any(|e| e.cat == "recovery" && e.name == "rung"),
         "missing recovery rung attribution"
+    );
+}
+
+/// The concurrent multi-domain workload: `pipe-split`'s two live
+/// pipeline stages touch disjoint memories, so they must partition into
+/// two recovery domains on every soak preset — and across a small seed
+/// sweep, domain-sliced rollback must actually engage (non-zero
+/// `replayed_cycles_saved`), the ROADMAP gap this fixture closes.
+#[test]
+fn pipe_split_forms_two_live_domains_and_scoped_rollback_saves_replay() {
+    let policy = RecoveryPolicy::default();
+    let mut saved_total: u64 = 0;
+    let mut mapped = 0usize;
+    for (preset, adg) in fixtures() {
+        let kernel = dsagen::workloads::polybench::pipe_split();
+        let Some((compiled, plain_firings)) = build(&adg, &kernel) else {
+            continue;
+        };
+        mapped += 1;
+        let doms = dsagen::sim::RecoveryDomains::derive(
+            &adg,
+            &compiled.version,
+            &compiled.schedule,
+        );
+        assert!(
+            doms.len() >= 2,
+            "{preset}: pipe-split stages collapsed into {} domain(s)",
+            doms.len()
+        );
+        for seed in [0x50ACu64, 77, 3, 5] {
+            let storm = storm_for(seed, compiled.perf.cycles as u64);
+            let out = recover_with_degradation(
+                &adg,
+                &compiled,
+                &SimConfig::default(),
+                &storm,
+                &policy,
+                &Telemetry::disabled(),
+            )
+            .unwrap_or_else(|e| panic!("{preset}/pipe-split seed {seed:#x}: {e}"));
+            let report = out.report();
+            let total: u64 = report.report.firings.iter().sum();
+            assert_eq!(
+                total, plain_firings,
+                "{preset}/pipe-split seed {seed:#x}: storm run lost work"
+            );
+            saved_total += report.replayed_cycles_saved();
+        }
+    }
+    assert!(mapped >= 2, "pipe-split must map on most presets, got {mapped}");
+    assert!(
+        saved_total > 0,
+        "domain-sliced rollback never engaged across the pipe-split sweep"
     );
 }
