@@ -12,6 +12,8 @@
 //!   programming attempts, or verify throughput fell.
 //! * **telemetry_overhead** — the disabled-telemetry overhead exceeds the
 //!   artifact's own absolute gate (2%), regardless of the committed value.
+//! * **service** — fewer requests completed, the warm-start store-tier hit
+//!   rate fell, or the warm phase never hit the artifact store at all.
 //!
 //! The artifact kind is read from the envelope's `bench` field when
 //! present, else sniffed from the document shape, so CI invokes one
@@ -32,8 +34,9 @@
 
 use std::process::ExitCode;
 
+use dsagen_bench::artifact::load_artifact;
 use dsagen_bench::envelope::{bench_name, payload};
-use dsagen_bench::json::{parse, JsonValue};
+use dsagen_bench::json::JsonValue;
 use dsagen_telemetry::{log, Level};
 
 /// Regression band: fail when fresh MTTR exceeds 1.25× committed, or a
@@ -259,9 +262,58 @@ fn compare_telemetry_overhead(committed: &JsonValue, fresh: &JsonValue, checks: 
     }
 }
 
+/// service artifact: the deterministic outcome metrics — every admitted
+/// request completes, and the warm phase re-runs the same requests against
+/// the same on-disk store, so its store-tier hit rate is a code property.
+/// Latencies and shed counts are machine/timing-dependent: informational.
+fn compare_service(committed: &JsonValue, fresh: &JsonValue, checks: &mut Vec<Check>) {
+    if let (Some(cc), Some(fc)) = (num(committed, "completed"), num(fresh, "completed")) {
+        checks.extend(check_smaller_is_worse("completed requests".into(), cc, fc));
+    }
+    if let (Some(ch), Some(fh)) = (
+        num(committed, "warm_start_hit_rate"),
+        num(fresh, "warm_start_hit_rate"),
+    ) {
+        checks.extend(check_smaller_is_worse("warm_start_hit_rate".into(), ch, fh));
+    }
+    // A fresh run whose warm phase never hits the store is a hard failure
+    // even if the committed artifact predates the metric.
+    if let Some(fh) = num(fresh, "warm_start_hit_rate") {
+        if fh <= 0.0 {
+            checks.push(Check {
+                label: "warm_start_hit_rate > 0".into(),
+                committed: num(committed, "warm_start_hit_rate").unwrap_or(1.0),
+                fresh: fh,
+                worse: 1.0,
+            });
+        }
+    }
+    if let (Some(cq), Some(fq)) = (num(committed, "quarantined"), num(fresh, "quarantined")) {
+        if fq > cq {
+            checks.push(Check {
+                label: "store quarantines".into(),
+                committed: cq,
+                fresh: fq,
+                worse: 1.0,
+            });
+        }
+    }
+    for key in ["p50_latency_ms", "p99_latency_ms", "shed"] {
+        match (
+            num(fresh, key).or_else(|| fresh.get("warm").and_then(|w| num(w, key))),
+            num(committed, key).or_else(|| committed.get("warm").and_then(|w| num(w, key))),
+        ) {
+            (Some(f), Some(c)) => println!("info: {key} committed {c:.3} -> fresh {f:.3}"),
+            (Some(f), None) => println!("info: {key} fresh {f:.3} (no committed baseline)"),
+            _ => {}
+        }
+    }
+}
+
 fn load(path: &str) -> Result<JsonValue, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    parse(&text).map_err(|e| format!("{path}: {e}"))
+    // The typed classification (missing / empty / unparseable / partial)
+    // renders an actionable message; bench_compare reports it and exits 2.
+    load_artifact(path).map_err(|e| e.to_string())
 }
 
 /// The artifact kind: the envelope's `bench` field when present, else
@@ -275,8 +327,12 @@ fn sniff_kind(doc: &JsonValue, body: &JsonValue) -> Option<&'static str> {
             "dse_parallel" => Some("dse_parallel"),
             "config_integrity" => Some("config_integrity"),
             "telemetry_overhead" => Some("telemetry_overhead"),
+            "service" => Some("service"),
             _ => None,
         };
+    }
+    if body.get("warm_start_hit_rate").is_some() {
+        return Some("service");
     }
     if body.get("presets").is_some() {
         Some("soak")
@@ -327,6 +383,7 @@ fn main() -> ExitCode {
         "dse_parallel" => compare_dse_parallel(committed, fresh, &mut checks),
         "config_integrity" => compare_config_integrity(committed, fresh, &mut checks),
         "telemetry_overhead" => compare_telemetry_overhead(committed, fresh, &mut checks),
+        "service" => compare_service(committed, fresh, &mut checks),
         _ => compare_recovery(committed, fresh, &mut checks),
     }
 

@@ -105,6 +105,20 @@ fn key_metrics(kind: &str, body: &JsonValue) -> Vec<(String, f64)> {
             push("named_coverage_pct", num(body, "named_coverage_pct"));
             push("path_search_pct", num(body, "path_search_pct"));
         }
+        "service" => {
+            // p99 latency is machine-dependent but its *trajectory* across
+            // PRs on the same CI runner class is the latency history the
+            // issue asks to track; the hit rate and counts are code
+            // properties.
+            push("completed", num(body, "completed"));
+            push("warm_start_hit_rate", num(body, "warm_start_hit_rate"));
+            push(
+                "warm_p99_latency_ms",
+                body.get("warm").and_then(|w| num(w, "p99_latency_ms")),
+            );
+            push("shed", num(body, "shed"));
+            push("quarantined", num(body, "quarantined"));
+        }
         _ => {}
     }
     out

@@ -3,6 +3,7 @@
 
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod envelope;
 pub mod json;
 

@@ -58,7 +58,9 @@ pub use dsagen_faults as faults;
 pub use dsagen_hwgen as hwgen;
 pub use dsagen_model as model;
 pub use dsagen_scheduler as scheduler;
+pub use dsagen_service as service;
 pub use dsagen_sim as sim;
+pub use dsagen_store as store;
 pub use dsagen_telemetry as telemetry;
 pub use dsagen_workloads as workloads;
 

@@ -45,6 +45,10 @@ pub struct CacheStats {
     /// Lookups answered by rebasing a prior schedule whose hardware
     /// footprint survived the mutation intact (objective recomputed).
     pub footprint_hits: u64,
+    /// Lookups answered from the disk-backed artifact-store tier (warm
+    /// start across processes; the loaded schedule is re-verified before
+    /// it counts).
+    pub store_hits: u64,
     /// Lookups that fell through to a full stochastic scheduling pass.
     pub misses: u64,
     /// Entries written (one per miss or footprint rebase).
@@ -55,18 +59,30 @@ impl CacheStats {
     /// Total lookups observed.
     #[must_use]
     pub fn lookups(&self) -> u64 {
-        self.exact_hits + self.footprint_hits + self.misses
+        self.exact_hits + self.footprint_hits + self.store_hits + self.misses
     }
 
     /// Fraction of lookups that avoided a stochastic scheduling pass
-    /// (exact + footprint hits). Zero when no lookup has happened.
+    /// (exact + footprint + store hits). Zero when no lookup has happened.
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         let total = self.lookups();
         if total == 0 {
             0.0
         } else {
-            (self.exact_hits + self.footprint_hits) as f64 / total as f64
+            (self.exact_hits + self.footprint_hits + self.store_hits) as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lookups answered by the disk-backed store tier alone
+    /// (the warm-start figure the service benchmark reports).
+    #[must_use]
+    pub fn store_hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.store_hits as f64 / total as f64
         }
     }
 
@@ -74,6 +90,7 @@ impl CacheStats {
     pub fn absorb(&mut self, other: &CacheStats) {
         self.exact_hits += other.exact_hits;
         self.footprint_hits += other.footprint_hits;
+        self.store_hits += other.store_hits;
         self.misses += other.misses;
         self.insertions += other.insertions;
     }
@@ -126,6 +143,12 @@ impl ScheduleCache {
     /// previous schedule instead of a full scheduling pass.
     pub fn note_footprint_hit(&mut self) {
         self.stats.footprint_hits += 1;
+    }
+
+    /// Records that a lookup was answered from the disk-backed artifact
+    /// store (a warm start from a previous process).
+    pub fn note_store_hit(&mut self) {
+        self.stats.store_hits += 1;
     }
 
     /// Records that a lookup fell through to the stochastic scheduler.

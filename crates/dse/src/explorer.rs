@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dsagen_adg::{Adg, FeatureSet, OpSet};
@@ -26,7 +28,8 @@ use dsagen_scheduler::{
     evaluate as evaluate_schedule, repair_with_escalation_instrumented, schedule_instrumented,
     Problem, Schedule, SchedulerConfig,
 };
-use dsagen_telemetry::{EventData, Telemetry};
+use dsagen_store::{Artifact, ArtifactKey, ArtifactStore};
+use dsagen_telemetry::{log, EventData, Level, Telemetry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -167,6 +170,74 @@ impl Default for DseConfig {
             fail_config_at_iter: None,
             reliability: None,
         }
+    }
+}
+
+/// Why a run stopped before its natural convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StopCause {
+    /// The caller's cancellation token was set.
+    Cancelled,
+    /// The run's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StopCause::Cancelled => "cancelled",
+            StopCause::DeadlineExceeded => "deadline-exceeded",
+        })
+    }
+}
+
+/// Cooperative run control: an optional cancellation token and an
+/// optional wall-clock deadline, both checked at exploration iteration
+/// boundaries (never mid-evaluation — a step in flight always finishes,
+/// so the trace stays coherent). The default is unrestricted.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Set to `true` (by any thread) to stop the run at the next
+    /// iteration boundary.
+    pub cancel: Option<Arc<AtomicBool>>,
+    /// Stop once this instant passes.
+    pub deadline: Option<Instant>,
+}
+
+impl RunControl {
+    /// Control with only a cancellation token.
+    #[must_use]
+    pub fn with_cancel(token: Arc<AtomicBool>) -> Self {
+        RunControl {
+            cancel: Some(token),
+            deadline: None,
+        }
+    }
+
+    /// Control with only a deadline `budget` from now.
+    #[must_use]
+    pub fn with_deadline_in(budget: Duration) -> Self {
+        RunControl {
+            cancel: None,
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Whether the run should stop now, and why. Cancellation wins ties.
+    #[must_use]
+    pub fn should_stop(&self) -> Option<StopCause> {
+        if let Some(token) = &self.cancel {
+            if token.load(Ordering::Relaxed) {
+                return Some(StopCause::Cancelled);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Some(StopCause::DeadlineExceeded);
+            }
+        }
+        None
     }
 }
 
@@ -312,6 +383,10 @@ pub struct DseResult {
     /// panicked wholesale contributes an empty trace). For a serial run
     /// this is a single-element vector equal to [`DseResult::trace`].
     pub shard_traces: Vec<Vec<IterRecord>>,
+    /// `Some` when the run stopped early at a [`RunControl`] boundary
+    /// (cancellation or deadline) rather than converging naturally. The
+    /// result is still a coherent best-so-far.
+    pub stopped: Option<StopCause>,
 }
 
 impl DseResult {
@@ -376,6 +451,14 @@ pub struct Explorer {
     /// Telemetry handle — disabled by default, so instrumentation costs
     /// one branch per emission site. Cloned into every forked shard.
     telemetry: Telemetry,
+    /// Disk-backed artifact-store tier for the schedule cache (warm start
+    /// across processes). `None` (the default) keeps the explorer purely
+    /// in-memory. Shared by every forked shard — sound because the
+    /// scheduler seed is part of the store key.
+    store: Option<ArtifactStore>,
+    /// Cooperative cancellation/deadline control, checked at iteration
+    /// boundaries. Shared (cloned) into every forked shard.
+    control: RunControl,
 }
 
 /// A coherent snapshot of every explorer statistic, taken at one instant.
@@ -405,6 +488,7 @@ impl TelemetrySnapshot {
             cache: CacheStats {
                 exact_hits: self.cache.exact_hits - earlier.cache.exact_hits,
                 footprint_hits: self.cache.footprint_hits - earlier.cache.footprint_hits,
+                store_hits: self.cache.store_hits - earlier.cache.store_hits,
                 misses: self.cache.misses - earlier.cache.misses,
                 insertions: self.cache.insertions - earlier.cache.insertions,
             },
@@ -477,6 +561,8 @@ impl Explorer {
             used_ops,
             shard_index: 0,
             telemetry: Telemetry::disabled(),
+            store: None,
+            control: RunControl::default(),
         }
     }
 
@@ -492,6 +578,36 @@ impl Explorer {
     #[must_use]
     pub fn with_telemetry(mut self, tel: Telemetry) -> Self {
         self.telemetry = tel;
+        self
+    }
+
+    /// Attaches a disk-backed artifact store as an extra schedule-cache
+    /// tier: in-memory misses consult the store (and re-verify whatever
+    /// they load), and fresh scheduling results are persisted back.
+    /// Entries are keyed by `(adg fingerprint, kernel hash, scheduler
+    /// seed)`, so determinism in `(seed, shards)` is preserved — a store
+    /// can never replay a schedule minted under a different seed.
+    pub fn attach_store(&mut self, store: ArtifactStore) {
+        self.store = Some(store);
+    }
+
+    /// Builder-style [`Explorer::attach_store`].
+    #[must_use]
+    pub fn with_store(mut self, store: ArtifactStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Installs cooperative run control (cancellation token and/or
+    /// deadline), checked at iteration boundaries of every shard.
+    pub fn set_control(&mut self, control: RunControl) {
+        self.control = control;
+    }
+
+    /// Builder-style [`Explorer::set_control`].
+    #[must_use]
+    pub fn with_control(mut self, control: RunControl) -> Self {
+        self.control = control;
         self
     }
 
@@ -680,7 +796,81 @@ impl Explorer {
                     }
                 }
 
-                // 2) Footprint rebase: the hardware changed, but every
+                // 2) Store tier: a previous *process* scheduled this exact
+                //    (hardware, kernel, scheduler seed) triple and
+                //    persisted the result. Nothing loaded is trusted:
+                //    the store already re-verified framing, key, and
+                //    schedule digest, and here the schedule must still
+                //    evaluate feasible and round-trip its bitstream on
+                //    this ADG before it counts. Anything less falls
+                //    through to the normal tiers.
+                if self.cfg.use_cache && self.store.is_some() {
+                    let store_key = ArtifactKey {
+                        adg_fp,
+                        kernel_hash: ck_hash,
+                        sched_seed: sched_cfg.seed,
+                    };
+                    let loaded = self
+                        .store
+                        .as_ref()
+                        .and_then(|s| s.get(store_key).ok().flatten());
+                    if let Some(art) = loaded {
+                        let problem = Problem::new(&self.adg, version);
+                        let eval = evaluate_schedule(&problem, &art.schedule, &sched_cfg.weights);
+                        if eval.feasible
+                            && verify_round_trip_timed(&problem, &art.schedule, &eval).is_ok()
+                        {
+                            let est = self.perf_model.estimate(
+                                &self.adg,
+                                version,
+                                &art.schedule,
+                                &eval,
+                                config_len,
+                            );
+                            let perf = est.perf();
+                            let fp = schedule_footprint(&self.adg, &art.schedule);
+                            self.cache.note_store_hit();
+                            self.telemetry.metrics().add("dse.cache.store_hits", 1);
+                            self.telemetry.recorder().record("dse", || {
+                                (
+                                    "cache_hit".to_string(),
+                                    format!("kernel={ki} version={vi} kind=store"),
+                                )
+                            });
+                            self.cache.insert(
+                                adg_fp,
+                                ck_hash,
+                                CacheEntry {
+                                    schedule: art.schedule.clone(),
+                                    perf: Some(perf),
+                                    footprint: fp,
+                                },
+                            );
+                            match fp {
+                                Some(f) => {
+                                    self.footprints.insert(key, f);
+                                }
+                                None => {
+                                    self.footprints.remove(&key);
+                                }
+                            }
+                            self.schedules.insert(key, art.schedule);
+                            if best.is_none_or(|(_, p)| perf > p) {
+                                best = Some((vi, perf));
+                            }
+                            continue;
+                        }
+                        log(
+                            Level::Warn,
+                            format!(
+                                "dse: store artifact for {store_key} failed re-verification; \
+falling through to a full scheduling pass"
+                            ),
+                        );
+                    }
+                }
+
+                // 3) Footprint rebase: the hardware changed, but every
                 //    node/edge this version's previous legal schedule
                 //    occupies is byte-identical. Skip the stochastic
                 //    search; re-check legality and recompute the modeled
@@ -742,7 +932,7 @@ impl Explorer {
                     self.telemetry.metrics().add("dse.cache.misses", 1);
                 }
 
-                // 3) Full stochastic scheduling pass.
+                // 4) Full stochastic scheduling pass.
                 self.sched_invocations += 1;
                 self.telemetry.metrics().add("dse.sched_invocations", 1);
                 let result = if self.cfg.use_repair {
@@ -767,6 +957,7 @@ impl Explorer {
                     schedule_instrumented(&self.adg, version, &sched_cfg, &self.telemetry)
                 };
                 let mut perf_out = None;
+                let mut config_words: Option<Vec<u64>> = None;
                 if result.is_legal() {
                     // Integrity gate (§VI): the schedule may only count if
                     // its encoded bitstream decodes back to exactly this
@@ -776,9 +967,10 @@ impl Explorer {
                     let problem = Problem::new(&self.adg, version);
                     let verified = {
                         let _vs = self.telemetry.span("config", "verify");
-                        verify_round_trip_timed(&problem, &result.schedule, &result.eval).is_ok()
+                        verify_round_trip_timed(&problem, &result.schedule, &result.eval)
                     };
-                    if verified {
+                    if let Ok(vc) = verified {
+                        config_words = Some(vc.words().to_vec());
                         let est = {
                             let _ms = self.telemetry.span("model", "estimate");
                             self.perf_model.estimate(
@@ -822,6 +1014,27 @@ impl Explorer {
                             footprint: fp,
                         },
                     );
+                }
+                // Persist verified outcomes so a future process warm-starts
+                // from them. Best-effort: a store failure (including an
+                // injected crash) costs only the warm start, never the run.
+                if let (Some(store), Some(words), Some(_)) =
+                    (&self.store, &config_words, perf_out)
+                {
+                    let art = Artifact {
+                        key: ArtifactKey {
+                            adg_fp,
+                            kernel_hash: ck_hash,
+                            sched_seed: sched_cfg.seed,
+                        },
+                        schedule: result.schedule.clone(),
+                        perf: perf_out,
+                        footprint: fp,
+                        config_words: words.clone(),
+                    };
+                    if let Err(e) = store.put(&art) {
+                        log(Level::Warn, format!("dse: artifact put failed: {e}"));
+                    }
                 }
                 self.schedules.insert(key, result.schedule);
             }
@@ -1164,8 +1377,23 @@ impl Explorer {
         let mut best_schedules = self.schedules.clone();
         let mut best_footprints = self.footprints.clone();
         let mut stale = 0u32;
+        let mut stopped = None;
 
         for iter in 1..=self.cfg.max_iters {
+            // Cooperative stop: cancellation and deadline are honored at
+            // iteration boundaries only, so the trace never ends inside a
+            // half-evaluated step.
+            if let Some(cause) = self.control.should_stop() {
+                stopped = Some(cause);
+                self.telemetry.metrics().add("dse.stopped", 1);
+                self.telemetry.recorder().record("dse", || {
+                    (
+                        "stopped".to_string(),
+                        format!("iter={iter} shard={} cause={cause}", self.shard_index),
+                    )
+                });
+                break;
+            }
             let mark = self.mark();
             // Mutate (redraw until something applies, bounded).
             let backup_adg = self.adg.clone();
@@ -1258,6 +1486,7 @@ impl Explorer {
             initial,
             shard_traces: vec![trace.clone()],
             trace,
+            stopped,
         }
     }
 
@@ -1292,6 +1521,11 @@ impl Explorer {
             // metrics registry, so per-shard counters merge deterministically
             // in shard index order at reduction time.
             telemetry: self.telemetry.fork_shard(),
+            // The store is shared (clones share one directory and counter
+            // set) — sound because the scheduler seed is in the store key,
+            // and each shard schedules under its own perturbed seed.
+            store: self.store.clone(),
+            control: self.control.clone(),
         }
     }
 
@@ -1402,6 +1636,9 @@ impl Explorer {
                 .metrics()
                 .absorb(&ex.telemetry.metrics().snapshot());
         }
+        // Any shard observing a stop is reported (shards share one
+        // control, so normally all agree); the winner's cause wins ties.
+        let any_stopped = survivors.iter().find_map(|(_, _, r)| r.stopped);
         let (_, wex, wres) = survivors.swap_remove(win);
         self.adg = wex.adg;
         self.schedules = wex.schedules;
@@ -1412,6 +1649,7 @@ impl Explorer {
             initial: wres.initial,
             trace: wres.trace,
             shard_traces,
+            stopped: wres.stopped.or(any_stopped),
         }
     }
 }
@@ -1952,5 +2190,112 @@ pub(crate) mod tests {
             "cache disabled: every evaluation schedules afresh"
         );
         assert_eq!(ex.cache_stats().lookups(), 0);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(6))]
+
+        /// Footprint-rebase negative path: a memoized schedule whose
+        /// footprint *fingerprint* still matches the mutated ADG but which
+        /// is not actually rebasable (here: an impostor piling every op
+        /// onto one node, simulating a fingerprint collision) must fall
+        /// through to a cache miss and a fresh scheduling pass — never be
+        /// served as a footprint hit.
+        #[test]
+        fn poisoned_footprint_collision_falls_through_to_miss(seed in 0u64..64) {
+            use rand::SeedableRng;
+
+            let mut ex = Explorer::new(presets::dse_initial(), &small_kernels(), quick_cfg());
+            let clean = ex.evaluate();
+            proptest::prop_assert!(clean.per_kernel.iter().all(Option::is_some));
+
+            // Mutate the hardware with the explorer's own operator so the
+            // graph fingerprint changes (no exact replay is possible).
+            let original_fp = ex.adg.fingerprint();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut mutated = false;
+            for _ in 0..3 {
+                mutated |= mutate(&mut ex.adg, &mut rng, &ex.used_ops).is_some();
+            }
+            if !mutated || ex.adg.fingerprint() == original_fp {
+                // Vacuous: nothing changed (or the mutations cancelled
+                // out, making exact replay the correct answer).
+                return Ok(());
+            }
+
+            // Keys `evaluate` will actually visit on the mutated hardware
+            // (a mutation may leave a version's feature requirements
+            // unsatisfied, in which case it is skipped without any lookup).
+            let features = ex.adg.features();
+            let mut visitable: Vec<(usize, usize)> = Vec::new();
+            for (ki, versions) in ex.versions.iter().enumerate() {
+                for (vi, version) in versions.iter().enumerate() {
+                    if version.requires.satisfied_by(&features) {
+                        visitable.push((ki, vi));
+                    }
+                }
+            }
+
+            // Poison every memoized schedule with the impostor, pinning
+            // the recorded footprint fingerprint to the impostor's own so
+            // the fingerprint equality check passes.
+            let mut poisoned: HashMap<(usize, usize), Schedule> = HashMap::new();
+            let keys: Vec<_> = ex.schedules.keys().copied().collect();
+            for key in keys {
+                let mut garbage = ex.schedules[&key].clone();
+                let Some(first) = garbage.placement.iter().copied().flatten().next() else {
+                    continue;
+                };
+                for slot in &mut garbage.placement {
+                    if slot.is_some() {
+                        *slot = Some(first);
+                    }
+                }
+                garbage.routes.clear();
+                let Some(fp) = schedule_footprint(&ex.adg, &garbage) else {
+                    continue;
+                };
+                ex.schedules.insert(key, garbage.clone());
+                ex.footprints.insert(key, fp);
+                poisoned.insert(key, garbage);
+            }
+            let expect_miss: Vec<_> = visitable
+                .iter()
+                .filter(|k| poisoned.contains_key(k))
+                .collect();
+            if expect_miss.is_empty() {
+                return Ok(()); // no poisoned key will be visited under this seed
+            }
+
+            let misses_before = ex.cache_stats().misses;
+            let invocations_before = ex.sched_invocations();
+            let second = ex.evaluate();
+
+            // A kernel may legitimately fail to map on the mutated
+            // hardware (per_kernel None) — what must never happen is the
+            // impostor being *served*: every visited poisoned key
+            // registers a miss and a fresh scheduling pass.
+            let _ = second;
+            proptest::prop_assert!(
+                ex.cache_stats().misses >= misses_before + expect_miss.len() as u64,
+                "every visited poisoned key must register a miss \
+(before {misses_before}, after {}, poisoned visited {})",
+                ex.cache_stats().misses,
+                expect_miss.len()
+            );
+            proptest::prop_assert!(
+                ex.sched_invocations() > invocations_before,
+                "poisoned keys must trigger fresh scheduling passes"
+            );
+            // ...and no impostor may survive as the memoized schedule.
+            for (key, garbage) in &poisoned {
+                if let Some(now) = ex.schedules.get(key) {
+                    proptest::prop_assert!(
+                        now != garbage,
+                        "impostor schedule served for {key:?}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -51,9 +51,13 @@
 #![warn(missing_debug_implementations)]
 
 mod schedule;
+mod storage;
 
 pub use schedule::{
     FaultLifetime, FaultSchedule, StormConfig, TimedFault, RUNTIME_KINDS, STORM_KINDS,
+};
+pub use storage::{
+    corrupt_record_bytes, kill_points, StorageFaultKind, StorageInjector, WriteFault,
 };
 
 use std::fmt;

@@ -237,6 +237,126 @@ pub fn deframe_words(framed: &[u64], expected: usize) -> Result<Vec<u64>, FrameE
     Ok(slots.into_iter().flatten().collect())
 }
 
+/// Why a byte-chunk stream (see [`frame_chunk`]) failed validation.
+///
+/// The word-frame [`FrameError`] speaks in transport words; persistent
+/// records are byte streams, so their framing errors carry byte offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChunkError {
+    /// The buffer ends before the chunk it announces (a torn or truncated
+    /// write — the header promised more bytes than the medium holds).
+    Truncated {
+        /// Byte offset of the chunk whose body is missing.
+        offset: usize,
+        /// Bytes the header announced.
+        want: usize,
+        /// Bytes actually available.
+        have: usize,
+    },
+    /// A chunk's CRC32 disagrees with its payload (bit rot, torn tail).
+    CrcMismatch {
+        /// Byte offset of the offending chunk.
+        offset: usize,
+        /// CRC recomputed from the payload.
+        expected: u32,
+        /// CRC stored in the header.
+        got: u32,
+    },
+    /// A chunk header announces an implausible length (corrupt header).
+    OversizedChunk {
+        /// Byte offset of the chunk.
+        offset: usize,
+        /// The announced length.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChunkError::Truncated { offset, want, have } => write!(
+                f,
+                "chunk at byte {offset} truncated: header announces {want} bytes, {have} present"
+            ),
+            ChunkError::CrcMismatch {
+                offset,
+                expected,
+                got,
+            } => write!(
+                f,
+                "chunk at byte {offset}: CRC mismatch (computed {expected:#010x}, stored {got:#010x})"
+            ),
+            ChunkError::OversizedChunk { offset, len } => {
+                write!(f, "chunk at byte {offset}: implausible length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Upper bound on a single chunk's payload. Persistent records are small
+/// (schedules + config words); anything past this is a corrupt header,
+/// not a real chunk — rejecting it keeps a flipped length bit from
+/// allocating gigabytes.
+pub const MAX_CHUNK_LEN: usize = 1 << 24;
+
+/// Frames one byte chunk for persistent storage:
+/// `[len: u32 LE][crc32(payload): u32 LE][payload]`. The same CRC32
+/// discipline the config-path transport uses ([`crc32`], reflected IEEE
+/// 802.3), applied to byte records — the artifact store's record format
+/// is a sequence of these.
+#[must_use]
+pub fn frame_chunk(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Parses and CRC-checks the chunk at the front of `buf` (whose position
+/// within the whole record is `offset`, for error reporting), returning
+/// `(payload, rest)`.
+///
+/// # Errors
+///
+/// A typed [`ChunkError`] on truncation, CRC mismatch, or an implausible
+/// header — never a panic, whatever the bytes.
+pub fn unframe_chunk(buf: &[u8], offset: usize) -> Result<(&[u8], &[u8]), ChunkError> {
+    if buf.len() < 8 {
+        return Err(ChunkError::Truncated {
+            offset,
+            want: 8,
+            have: buf.len(),
+        });
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_CHUNK_LEN {
+        return Err(ChunkError::OversizedChunk { offset, len });
+    }
+    let stored = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    let body = &buf[8..];
+    if body.len() < len {
+        return Err(ChunkError::Truncated {
+            offset,
+            want: len,
+            have: body.len(),
+        });
+    }
+    let (payload, rest) = body.split_at(len);
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(ChunkError::CrcMismatch {
+            offset,
+            expected: computed,
+            got: stored,
+        });
+    }
+    Ok((payload, rest))
+}
+
 /// Programming-session lifecycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SessionState {

@@ -28,7 +28,8 @@ pub use config_path::{
     generate_config_paths, try_generate_config_paths, ConfigPathError, ConfigPaths,
 };
 pub use frame::{
-    crc32, deframe_words, frame_words, Frame, FrameError, ProgrammingSession, SessionConfig,
-    SessionError, SessionReport, SessionState, CRC32_POLY, FRAME_WORDS,
+    crc32, deframe_words, frame_chunk, frame_words, unframe_chunk, ChunkError, Frame, FrameError,
+    ProgrammingSession, SessionConfig, SessionError, SessionReport, SessionState, CRC32_POLY,
+    FRAME_WORDS, MAX_CHUNK_LEN,
 };
 pub use rtl::emit_verilog;

@@ -13,7 +13,7 @@ use crate::{Entity, EntityKind, Problem};
 /// `placement[i]` is entity `i`'s ADG node, `routes[j]` is virtual edge
 /// `j`'s network path. Partial schedules are first-class — the repairing
 /// scheduler starts from them (§V-A).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Schedule {
     /// Entity placements.
     pub placement: Vec<Option<NodeId>>,
